@@ -1,0 +1,89 @@
+// Package pran's root benchmark suite regenerates every reconstructed table
+// and figure of the PRAN evaluation (DESIGN.md §4), one benchmark per
+// artifact, reporting each experiment's headline numbers as benchmark
+// metrics. Benchmarks run the quick sweeps; the full sweeps run via
+// cmd/pran-bench.
+package pran
+
+import (
+	"testing"
+
+	"pran/internal/experiments"
+)
+
+// report runs one experiment per benchmark iteration and republishes its
+// headline metrics through the benchmark reporter.
+func report(b *testing.B, fn func(bool) (experiments.Result, error)) {
+	b.Helper()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := fn(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for name, v := range last.Metrics {
+		b.ReportMetric(v, name)
+	}
+}
+
+// BenchmarkE1_SubframeVsMCS regenerates the UL processing time vs MCS/PRB
+// microbenchmark (paper's software-PHY feasibility figure).
+func BenchmarkE1_SubframeVsMCS(b *testing.B) {
+	report(b, experiments.E1SubframeVsMCS)
+}
+
+// BenchmarkE2_StageBreakdown regenerates the per-stage cost breakdown
+// (turbo decoding dominance figure).
+func BenchmarkE2_StageBreakdown(b *testing.B) {
+	report(b, experiments.E2StageBreakdown)
+}
+
+// BenchmarkE3_TraceDiversity regenerates the per-class diurnal load
+// diversity figure.
+func BenchmarkE3_TraceDiversity(b *testing.B) {
+	report(b, experiments.E3TraceDiversity)
+}
+
+// BenchmarkE4_PoolingGain regenerates the headline pooling-gain table
+// (per-cell static vs elastic pool vs oracle).
+func BenchmarkE4_PoolingGain(b *testing.B) {
+	report(b, experiments.E4PoolingGain)
+}
+
+// BenchmarkE5_DeadlineMiss regenerates the deadline-miss vs utilization
+// figure (EDF vs FIFO, GC-pressure ablation) on the measured pool.
+func BenchmarkE5_DeadlineMiss(b *testing.B) {
+	report(b, experiments.E5DeadlineMiss)
+}
+
+// BenchmarkE6_Scaling regenerates the elastic-scaling surge response
+// (reactive vs predictive).
+func BenchmarkE6_Scaling(b *testing.B) {
+	report(b, experiments.E6Scaling)
+}
+
+// BenchmarkE7_Fronthaul regenerates the fronthaul bandwidth table (raw CPRI
+// vs BFP compression vs functional splits).
+func BenchmarkE7_Fronthaul(b *testing.B) {
+	report(b, func(bool) (experiments.Result, error) { return experiments.E7Fronthaul() })
+}
+
+// BenchmarkE8_Failover regenerates the failover outage comparison (hot
+// standby vs cold restart).
+func BenchmarkE8_Failover(b *testing.B) {
+	report(b, experiments.E8Failover)
+}
+
+// BenchmarkE9_Controller regenerates the control-plane microbenchmarks
+// (placement time, protocol RTT, migration payload).
+func BenchmarkE9_Controller(b *testing.B) {
+	report(b, experiments.E9Controller)
+}
+
+// BenchmarkE10_HeadroomAblation regenerates the headroom-margin ablation
+// (pooling gain vs capacity-deficit tradeoff).
+func BenchmarkE10_HeadroomAblation(b *testing.B) {
+	report(b, experiments.E10HeadroomAblation)
+}

@@ -1,0 +1,66 @@
+// Command pran-bench regenerates the PRAN evaluation: every reconstructed
+// table and figure (E1–E10, indexed in DESIGN.md §4) as printable tables.
+//
+// Usage:
+//
+//	pran-bench            # run everything, full sweeps
+//	pran-bench -quick     # reduced sweeps (~seconds)
+//	pran-bench -run E4    # one experiment
+//	pran-bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pran/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
+	run := flag.String("run", "", "run a single experiment by ID (E1..E10)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	table := []struct {
+		id string
+		fn func(bool) (experiments.Result, error)
+	}{
+		{"E1", experiments.E1SubframeVsMCS},
+		{"E2", experiments.E2StageBreakdown},
+		{"E3", experiments.E3TraceDiversity},
+		{"E4", experiments.E4PoolingGain},
+		{"E5", experiments.E5DeadlineMiss},
+		{"E6", experiments.E6Scaling},
+		{"E7", func(bool) (experiments.Result, error) { return experiments.E7Fronthaul() }},
+		{"E8", experiments.E8Failover},
+		{"E9", experiments.E9Controller},
+		{"E10", experiments.E10HeadroomAblation},
+	}
+
+	if *list {
+		for _, e := range table {
+			fmt.Println(e.id)
+		}
+		return
+	}
+
+	failed := false
+	for _, e := range table {
+		if *run != "" && !strings.EqualFold(*run, e.id) {
+			continue
+		}
+		res, err := e.fn(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.String())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Command pran-controller runs the PRAN controller as a network daemon:
+// data-plane agents (cmd/pran-agent) connect over TCP, register their
+// capacity, and receive cell assignments; the controller scales the active
+// set and re-places cells as their load reports evolve.
+//
+// Usage:
+//
+//	pran-controller -listen :7100 -cells 6 -prb 6
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"pran/internal/controller"
+	"pran/internal/frame"
+	"pran/internal/node"
+	"pran/internal/phy"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7100", "TCP listen address")
+	nCells := flag.Int("cells", 4, "number of cells to manage")
+	prb := flag.Int("prb", 6, "cell bandwidth in PRB")
+	predictive := flag.Bool("predictive", true, "predictive (vs reactive) scaling")
+	flag.Parse()
+
+	bw := phy.Bandwidth(*prb)
+	if err := bw.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	var cells []node.CellSpecNet
+	for i := 0; i < *nCells; i++ {
+		cells = append(cells, node.CellSpecNet{
+			ID: frame.CellID(i), PCI: uint16((i * 3) % 504), Bandwidth: bw, Antennas: 1,
+		})
+	}
+	ctlCfg := controller.DefaultConfig()
+	if !*predictive {
+		ctlCfg.Mode = controller.Reactive
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cn, err := node.NewControllerNode(ln, node.ControllerConfig{
+		Controller: ctlCfg,
+		Cells:      cells,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Seed demand so the first placement activates capacity before agent
+	// load reports arrive.
+	for i := 0; i < *nCells; i++ {
+		cn.Controller().ObserveCell(frame.CellID(i), 0.05)
+	}
+	log.Printf("pran-controller listening on %s, managing %d cells (%s)", cn.Addr(), *nCells, ctlCfg.Mode)
+	log.Fatal(cn.Serve())
+}

@@ -1,0 +1,78 @@
+// Programmability: install RAN programs on a running PRAN instance through
+// the registry — soft-frequency-reuse interference coordination (ICIC) plus
+// a passive stats collector — and show the programs reshaping the schedule
+// that the measured data plane then executes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pran/internal/controller"
+	"pran/internal/core"
+	"pran/internal/dataplane"
+	"pran/internal/frame"
+	"pran/internal/phy"
+	"pran/internal/ranapi"
+)
+
+func main() {
+	const nCells = 3
+	cfg := core.Config{
+		Cells:             core.DefaultCells(nCells, phy.BW1_4MHz, 1),
+		Pool:              dataplane.Config{Workers: 2, Policy: dataplane.EDF, DeadlineScale: 1000},
+		Controller:        controller.DefaultConfig(),
+		Cluster:           core.ClusterSpec{Servers: 4, Active: 1, CoresPerServer: 4, Speed: 1},
+		Seed:              42,
+		StartHour:         18, // evening: residential cells are busy
+		ControlPeriodTTIs: 50,
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Three neighbouring cells get the three soft-reuse groups: cell-edge
+	// UEs (below 8 dB) are confined to their cell's third of the band so
+	// neighbours' edge transmissions never collide.
+	groups := map[frame.CellID]int{0: 0, 1: 1, 2: 2}
+	icic, err := ranapi.NewICICProgram(phy.BW1_4MHz, 8, groups)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := ranapi.NewStatsProgram()
+	if err := sys.Programs().Register(icic); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Programs().Register(stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed RAN programs: %v\n", sys.Programs().Names())
+
+	if err := sys.RunTTIs(400); err != nil {
+		log.Fatal(err)
+	}
+	sys.Drain()
+
+	fmt.Printf("\nICIC after 400 TTIs × %d cells:\n", nCells)
+	fmt.Printf("  allocations repacked into protected bands: %d\n", icic.Moved())
+	fmt.Printf("  allocations shed (protected band full):    %d\n", icic.Dropped())
+	for _, cell := range stats.Cells() {
+		cs, _ := stats.Stats(cell)
+		fmt.Printf("  cell %d (reuse group %d): mean %.1f PRB, %.1f UEs/subframe\n",
+			cell, groups[cell], cs.MeanPRB, cs.MeanUEs)
+	}
+	st := sys.Pool().Stats()
+	fmt.Printf("\ndata plane processed %d tasks (%d CRC failures) under the reshaped schedule\n",
+		st.Submitted, st.CRCFailures)
+
+	// Programs are hot-swappable: drop ICIC and keep running.
+	sys.Programs().Unregister("icic")
+	if err := sys.RunTTIs(100); err != nil {
+		log.Fatal(err)
+	}
+	sys.Drain()
+	fmt.Printf("after uninstalling ICIC: programs=%v, tasks=%d\n",
+		sys.Programs().Names(), sys.Pool().Stats().Submitted)
+}

@@ -1,0 +1,3 @@
+module pran
+
+go 1.22

@@ -1,0 +1,152 @@
+// Package baseline implements the provisioning strategies PRAN is compared
+// against in the pooling experiments (E4):
+//
+//   - Per-cell static: today's distributed RAN — every cell gets dedicated
+//     baseband hardware sized for its own peak. Capacity is stranded
+//     whenever a cell idles.
+//   - Static C-RAN pool: one shared pool, but sized once for the worst
+//     aggregate ever seen (no elasticity).
+//   - PRAN pooled: capacity follows aggregate demand with headroom, sized
+//     by the same scaling policy the controller runs.
+//   - Oracle: the information-theoretic floor — capacity exactly equal to
+//     the aggregate peak, no headroom, known in advance.
+//
+// All functions consume per-cell compute-demand traces in reference-core
+// fractions (internal/cluster.CostModel.UtilizationDemand over
+// internal/traffic.DayTrace samples).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadTraces indicates empty or ragged input traces.
+var ErrBadTraces = errors.New("baseline: traces must be non-empty and equal length")
+
+// validate checks trace shape and returns the common length.
+func validate(traces [][]float64) (int, error) {
+	if len(traces) == 0 || len(traces[0]) == 0 {
+		return 0, ErrBadTraces
+	}
+	n := len(traces[0])
+	for i, tr := range traces {
+		if len(tr) != n {
+			return 0, fmt.Errorf("trace %d has %d samples, want %d: %w", i, len(tr), n, ErrBadTraces)
+		}
+	}
+	return n, nil
+}
+
+// PerCellStaticCores returns the core count of per-cell peak provisioning:
+// each cell independently gets ⌈its own peak × (1+margin)⌉ dedicated cores.
+func PerCellStaticCores(traces [][]float64, margin float64) (int, error) {
+	if _, err := validate(traces); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, tr := range traces {
+		peak := 0.0
+		for _, v := range tr {
+			if v > peak {
+				peak = v
+			}
+		}
+		total += int(math.Ceil(peak * (1 + margin)))
+	}
+	return total, nil
+}
+
+// AggregateTrace sums per-cell traces into a pool-level demand trace.
+func AggregateTrace(traces [][]float64) ([]float64, error) {
+	n, err := validate(traces)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for _, tr := range traces {
+		for i, v := range tr {
+			out[i] += v
+		}
+	}
+	return out, nil
+}
+
+// StaticPoolCores sizes a non-elastic shared pool: ⌈aggregate peak ×
+// (1+margin)⌉ cores, provisioned permanently.
+func StaticPoolCores(traces [][]float64, margin float64) (int, error) {
+	agg, err := AggregateTrace(traces)
+	if err != nil {
+		return 0, err
+	}
+	peak := 0.0
+	for _, v := range agg {
+		if v > peak {
+			peak = v
+		}
+	}
+	return int(math.Ceil(peak * (1 + margin))), nil
+}
+
+// OracleCores returns the aggregate-peak floor with no margin.
+func OracleCores(traces [][]float64) (int, error) {
+	return StaticPoolCores(traces, 0)
+}
+
+// PooledResult describes elastic (PRAN) provisioning over a trace.
+type PooledResult struct {
+	// PeakCores is the maximum cores the elastic pool ever held active —
+	// the capacity that must exist.
+	PeakCores int
+	// MeanCores is the time-average active cores — what is actually
+	// consumed (energy, amortized cost).
+	MeanCores float64
+	// CoreSamples is the per-sample active core series.
+	CoreSamples []int
+}
+
+// PRANPooledCores simulates elastic pooling over the aggregate trace: each
+// sample, the pool holds ⌈aggregate demand × (1+headroom)⌉ cores (scale-up
+// immediate, scale-down with the same one-sided hysteresis the controller
+// uses, expressed here as a trailing-max window of lagSamples).
+func PRANPooledCores(traces [][]float64, headroom float64, lagSamples int) (PooledResult, error) {
+	agg, err := AggregateTrace(traces)
+	if err != nil {
+		return PooledResult{}, err
+	}
+	if lagSamples < 1 {
+		lagSamples = 1
+	}
+	res := PooledResult{CoreSamples: make([]int, len(agg))}
+	sum := 0.0
+	for i := range agg {
+		// Trailing max over the lag window models slow scale-down.
+		hi := agg[i]
+		for j := i - lagSamples + 1; j < i; j++ {
+			if j >= 0 && agg[j] > hi {
+				hi = agg[j]
+			}
+		}
+		cores := int(math.Ceil(hi * (1 + headroom)))
+		if cores < 1 {
+			cores = 1
+		}
+		res.CoreSamples[i] = cores
+		if cores > res.PeakCores {
+			res.PeakCores = cores
+		}
+		sum += float64(cores)
+	}
+	res.MeanCores = sum / float64(len(agg))
+	return res, nil
+}
+
+// MultiplexingGain is the headline PRAN number: per-cell static cores
+// divided by what the pool actually needs.
+func MultiplexingGain(staticCores int, pooledCores float64) float64 {
+	if pooledCores <= 0 {
+		return 0
+	}
+	return float64(staticCores) / pooledCores
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"pran/internal/phy"
+)
+
+// Calibrate measures the host's actual per-stage DSP costs by running the
+// real internal/phy implementations and returns a CostModel whose
+// coefficients reflect this machine. The run takes a few hundred
+// milliseconds. Use DefaultCostModel when speed matters more than fidelity
+// (unit tests); use Calibrate in benchmarks and experiments.
+func Calibrate() (CostModel, error) {
+	var m CostModel
+	rng := rand.New(rand.NewSource(12345))
+
+	// FFT: 1024-point plan, per-butterfly-unit cost.
+	{
+		const n = 1024
+		f, err := phy.NewFFT(n)
+		if err != nil {
+			return m, fmt.Errorf("cluster: calibrate FFT: %w", err)
+		}
+		buf := make([]complex128, n)
+		for i := range buf {
+			buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		reps := 2000
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := f.Forward(buf); err != nil {
+				return m, err
+			}
+		}
+		el := time.Since(start).Seconds()
+		m.FFTPerButterfly = el / float64(reps) / (n * math.Log2(n))
+	}
+
+	// Demodulation per RE for each constellation.
+	for _, mod := range []phy.Modulation{phy.QPSK, phy.QAM16, phy.QAM64} {
+		const nSym = 14400
+		bits := make([]byte, nSym*mod.BitsPerSymbol())
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		syms, err := phy.Modulate(nil, bits, mod)
+		if err != nil {
+			return m, err
+		}
+		llr := make([]float32, 0, len(bits))
+		reps := 30
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			llr = llr[:0]
+			llr, err = phy.Demodulate(llr, syms, mod, 0.1)
+			if err != nil {
+				return m, err
+			}
+		}
+		per := time.Since(start).Seconds() / float64(reps) / float64(nSym)
+		switch mod {
+		case phy.QPSK:
+			m.DemodPerREQPSK = per
+		case phy.QAM16:
+			m.DemodPerRE16QAM = per
+		case phy.QAM64:
+			m.DemodPerRE64QAM = per
+		}
+	}
+
+	// Descrambling per coded bit, including scrambler setup amortized over
+	// one subframe's worth of bits (as the data plane pays it).
+	{
+		const n = 50000
+		llr := make([]float32, n)
+		for i := range llr {
+			llr[i] = rng.Float32()*2 - 1
+		}
+		reps := 60
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			s := phy.NewScrambler(phy.ScramblerInit(uint16(i), 7, 3))
+			s.DescrambleLLR(llr)
+		}
+		m.DescramblePerBit = time.Since(start).Seconds() / float64(reps) / n
+	}
+
+	// De-rate-matching per coded bit.
+	{
+		const k = 6144
+		rm, err := phy.NewRateMatcher(k)
+		if err != nil {
+			return m, err
+		}
+		e := 3 * (k + 4)
+		llr := make([]float32, e)
+		ld0 := make([]float32, k+4)
+		ld1 := make([]float32, k+4)
+		ld2 := make([]float32, k+4)
+		reps := 60
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := rm.SoftDematch(ld0, ld1, ld2, llr, 0); err != nil {
+				return m, err
+			}
+		}
+		m.DematchPerBit = time.Since(start).Seconds() / float64(reps) / float64(e)
+	}
+
+	// Turbo decoding per information bit per iteration: fixed iteration
+	// count, no early termination.
+	{
+		const k = 6144
+		enc, err := phy.NewTurboEncoder(k)
+		if err != nil {
+			return m, err
+		}
+		dec, err := phy.NewTurboDecoder(k)
+		if err != nil {
+			return m, err
+		}
+		const iters = 4
+		dec.MaxIterations = iters
+		input := make([]byte, k)
+		for i := range input {
+			input[i] = byte(rng.Intn(2))
+		}
+		d0 := make([]byte, k+4)
+		d1 := make([]byte, k+4)
+		d2 := make([]byte, k+4)
+		if err := enc.Encode(d0, d1, d2, input); err != nil {
+			return m, err
+		}
+		toLLR := func(bits []byte) []float32 {
+			l := make([]float32, len(bits))
+			for i, b := range bits {
+				if b == 0 {
+					l[i] = 2
+				} else {
+					l[i] = -2
+				}
+			}
+			return l
+		}
+		l0, l1, l2 := toLLR(d0), toLLR(d1), toLLR(d2)
+		out := make([]byte, k)
+		reps := 12
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := dec.Decode(out, l0, l1, l2); err != nil {
+				return m, err
+			}
+		}
+		m.TurboPerBitIter = time.Since(start).Seconds() / float64(reps) / (k * iters)
+	}
+
+	// CRC per bit.
+	{
+		const n = 60000
+		bits := make([]byte, n)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		reps := 60
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			_ = phy.CRC24A(bits)
+		}
+		m.CRCPerBit = time.Since(start).Seconds() / float64(reps) / n
+	}
+
+	// Downlink encode chain per information bit (full TransportProcessor
+	// encode at a mid-range configuration).
+	{
+		p, err := phy.NewTransportProcessor(17, 50)
+		if err != nil {
+			return m, err
+		}
+		payload := make([]byte, p.TransportBlockSize())
+		for i := range payload {
+			payload[i] = byte(rng.Intn(2))
+		}
+		reps := 20
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := p.Encode(payload, 1, 1, 0, 0); err != nil {
+				return m, err
+			}
+		}
+		m.EncodePerBit = time.Since(start).Seconds() / float64(reps) / float64(p.TransportBlockSize())
+	}
+
+	if err := m.Validate(); err != nil {
+		return m, fmt.Errorf("cluster: calibration produced invalid model: %w", err)
+	}
+	return m, nil
+}

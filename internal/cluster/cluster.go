@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors for cluster membership operations.
+var (
+	// ErrNoSuchServer indicates an unknown server ID.
+	ErrNoSuchServer = errors.New("cluster: no such server")
+	// ErrBadTransition indicates an illegal server state change.
+	ErrBadTransition = errors.New("cluster: illegal state transition")
+)
+
+// ServerID identifies a server in the pool.
+type ServerID int
+
+// ServerState is the lifecycle state the controller tracks per server.
+type ServerState int
+
+// Server lifecycle states.
+const (
+	// Standby servers are powered and registered but receive no cells;
+	// they exist for fast scale-up and failover.
+	Standby ServerState = iota
+	// Active servers process assigned cells.
+	Active
+	// Draining servers finish their current cells but accept no new ones
+	// (scale-down in progress).
+	Draining
+	// Failed servers are gone; their cells must be re-placed.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s ServerState) String() string {
+	switch s {
+	case Standby:
+		return "standby"
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("ServerState(%d)", int(s))
+	}
+}
+
+// Server describes one pool member.
+type Server struct {
+	// ID is the stable identifier.
+	ID ServerID
+	// Cores is the number of physical cores usable for baseband work.
+	Cores int
+	// SpeedFactor scales the reference-core cost model: 1.0 means each
+	// core matches the calibrated reference, 1.2 is 20% faster.
+	SpeedFactor float64
+	// State is the lifecycle state.
+	State ServerState
+}
+
+// Capacity returns the server's compute capacity in reference-core
+// fractions (cores × speed) when it can accept work, else 0.
+func (s Server) Capacity() float64 {
+	if s.State != Active {
+		return 0
+	}
+	return float64(s.Cores) * s.SpeedFactor
+}
+
+// Validate checks the static fields.
+func (s Server) Validate() error {
+	if s.Cores < 1 {
+		return fmt.Errorf("cluster: server %d has %d cores: %w", s.ID, s.Cores, ErrBadTransition)
+	}
+	if s.SpeedFactor <= 0 {
+		return fmt.Errorf("cluster: server %d speed %v: %w", s.ID, s.SpeedFactor, ErrBadTransition)
+	}
+	return nil
+}
+
+// Cluster is the mutable pool membership. It is safe for concurrent use;
+// the controller mutates it from its control loop while monitors read it.
+type Cluster struct {
+	mu      sync.RWMutex
+	servers map[ServerID]*Server
+}
+
+// New returns an empty cluster.
+func New() *Cluster {
+	return &Cluster{servers: make(map[ServerID]*Server)}
+}
+
+// Add registers a server (in its given state). Re-adding an existing ID is
+// an error.
+func (c *Cluster) Add(s Server) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.servers[s.ID]; ok {
+		return fmt.Errorf("cluster: server %d already present: %w", s.ID, ErrBadTransition)
+	}
+	cp := s
+	c.servers[s.ID] = &cp
+	return nil
+}
+
+// Get returns a snapshot of the server.
+func (c *Cluster) Get(id ServerID) (Server, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.servers[id]
+	if !ok {
+		return Server{}, fmt.Errorf("cluster: id %d: %w", id, ErrNoSuchServer)
+	}
+	return *s, nil
+}
+
+// SetState transitions a server's lifecycle state. Failed is terminal
+// except for explicit Repair.
+func (c *Cluster) SetState(id ServerID, st ServerState) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.servers[id]
+	if !ok {
+		return fmt.Errorf("cluster: id %d: %w", id, ErrNoSuchServer)
+	}
+	if s.State == Failed && st != Standby {
+		return fmt.Errorf("cluster: server %d is failed: %w", id, ErrBadTransition)
+	}
+	s.State = st
+	return nil
+}
+
+// Fail marks a server failed.
+func (c *Cluster) Fail(id ServerID) error { return c.SetState(id, Failed) }
+
+// Repair returns a failed server to standby.
+func (c *Cluster) Repair(id ServerID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.servers[id]
+	if !ok {
+		return fmt.Errorf("cluster: id %d: %w", id, ErrNoSuchServer)
+	}
+	if s.State != Failed {
+		return fmt.Errorf("cluster: server %d not failed: %w", id, ErrBadTransition)
+	}
+	s.State = Standby
+	return nil
+}
+
+// Servers returns snapshots of all servers sorted by ID (deterministic
+// iteration for placement and tests).
+func (c *Cluster) Servers() []Server {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// InState returns the servers currently in the given state, sorted by ID.
+func (c *Cluster) InState(st ServerState) []Server {
+	var out []Server
+	for _, s := range c.Servers() {
+		if s.State == st {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ActiveCapacity returns the summed capacity of active servers in
+// reference-core fractions.
+func (c *Cluster) ActiveCapacity() float64 {
+	total := 0.0
+	for _, s := range c.Servers() {
+		total += s.Capacity()
+	}
+	return total
+}
+
+// Counts returns the number of servers per state.
+func (c *Cluster) Counts() map[ServerState]int {
+	m := make(map[ServerState]int)
+	for _, s := range c.Servers() {
+		m[s.State]++
+	}
+	return m
+}
+
+// Uniform builds a cluster of n identical servers (IDs 0..n-1), the first
+// nActive of them Active and the rest Standby.
+func Uniform(n, nActive, cores int, speed float64) (*Cluster, error) {
+	if nActive > n {
+		return nil, fmt.Errorf("cluster: %d active > %d total: %w", nActive, n, ErrBadTransition)
+	}
+	c := New()
+	for i := 0; i < n; i++ {
+		st := Standby
+		if i < nActive {
+			st = Active
+		}
+		if err := c.Add(Server{ID: ServerID(i), Cores: cores, SpeedFactor: speed, State: st}); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,171 @@
+// Package cluster models the commodity-server pool PRAN schedules baseband
+// processing onto: a per-stage compute cost model *calibrated against the
+// real DSP in internal/phy*, plus server and cluster abstractions whose
+// capacities the controller allocates.
+//
+// The paper ran on a real cluster; our day-long, hundred-cell sweeps run on
+// this calibrated model instead (DESIGN.md §2). Calibration measures the
+// actual Go implementations (FFT, demodulation, turbo decoding, …) on the
+// host at startup, so simulated costs track what the measured data plane
+// would do on the same machine, keeping the experiment shapes transferable.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pran/internal/frame"
+	"pran/internal/phy"
+)
+
+// CostModel maps PHY work items to time on a reference core (seconds). All
+// coefficients are per-unit costs measured by Calibrate.
+type CostModel struct {
+	// FFTPerButterfly is the cost of one FFT butterfly stage unit; an
+	// n-point FFT costs FFTPerButterfly × n·log2(n).
+	FFTPerButterfly float64
+	// DemodPerREQPSK/16/64 is the LLR demodulation cost per resource
+	// element for each constellation.
+	DemodPerREQPSK  float64
+	DemodPerRE16QAM float64
+	DemodPerRE64QAM float64
+	// DescramblePerBit is the per-coded-bit descrambling cost, including
+	// the amortized Gold-sequence generation.
+	DescramblePerBit float64
+	// DematchPerBit is the soft de-rate-matching cost per coded bit.
+	DematchPerBit float64
+	// TurboPerBitIter is the turbo-decode cost per information bit per
+	// full iteration — the dominant coefficient.
+	TurboPerBitIter float64
+	// CRCPerBit is the CRC verification cost per bit.
+	CRCPerBit float64
+	// EncodePerBit is the downlink encode-chain cost per information bit.
+	EncodePerBit float64
+}
+
+// DefaultCostModel returns coefficients representative of a ~3 GHz x86 core
+// (used when calibration is skipped, e.g. in fast unit tests). Values are in
+// seconds per unit.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		FFTPerButterfly:  2.0e-9,
+		DemodPerREQPSK:   15e-9,
+		DemodPerRE16QAM:  25e-9,
+		DemodPerRE64QAM:  45e-9,
+		DescramblePerBit: 1.2e-9,
+		DematchPerBit:    2.5e-9,
+		TurboPerBitIter:  28e-9,
+		CRCPerBit:        0.8e-9,
+		EncodePerBit:     12e-9,
+	}
+}
+
+// Validate checks that every coefficient is positive.
+func (m CostModel) Validate() error {
+	for _, v := range []float64{
+		m.FFTPerButterfly, m.DemodPerREQPSK, m.DemodPerRE16QAM, m.DemodPerRE64QAM,
+		m.DescramblePerBit, m.DematchPerBit, m.TurboPerBitIter, m.CRCPerBit, m.EncodePerBit,
+	} {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cluster: non-positive cost coefficient: %w", phy.ErrBadParameter)
+		}
+	}
+	return nil
+}
+
+// demodPerRE selects the per-RE demodulation coefficient.
+func (m CostModel) demodPerRE(mod phy.Modulation) float64 {
+	switch mod {
+	case phy.QAM16:
+		return m.DemodPerRE16QAM
+	case phy.QAM64:
+		return m.DemodPerRE64QAM
+	default:
+		return m.DemodPerREQPSK
+	}
+}
+
+// ExpectedTurboIterations models how many full turbo iterations a decode
+// needs given the SNR margin above the MCS operating point: ample margin
+// early-terminates after 1–2, operation at the edge takes most of the
+// budget. Matches the EarlyCheck behaviour of the real decoder.
+func ExpectedTurboIterations(mcs phy.MCS, snrDB float64) float64 {
+	margin := snrDB - mcs.OperatingSNR()
+	it := 5.5 - 1.3*margin
+	if it < 1.5 {
+		it = 1.5
+	}
+	if it > 8 {
+		it = 8
+	}
+	return it
+}
+
+// CellOverhead returns the per-subframe, per-cell fixed cost: the 14 OFDM
+// symbol FFTs (times antennas). Under the RF-IQ split this runs in the pool
+// regardless of load — PRAN's floor cost per active cell.
+func (m CostModel) CellOverhead(bw phy.Bandwidth, antennas int) time.Duration {
+	n := float64(bw.FFTSize())
+	per := m.FFTPerButterfly * n * math.Log2(n)
+	total := per * phy.SymbolsPerSubframe * float64(antennas)
+	return time.Duration(total * float64(time.Second))
+}
+
+// AllocCost returns the uplink processing cost of one UE allocation on a
+// reference core: demodulation + descrambling + de-rate-matching + turbo
+// decoding + CRC.
+func (m CostModel) AllocCost(a frame.Allocation) time.Duration {
+	res := float64(a.NumPRB * phy.DataREsPerPRB)
+	qm := float64(a.MCS.Modulation().BitsPerSymbol())
+	codedBits := res * qm
+	tbs, err := a.MCS.TransportBlockSize(a.NumPRB)
+	if err != nil {
+		return 0
+	}
+	infoBits := float64(tbs + 24)
+	iters := ExpectedTurboIterations(a.MCS, a.SNRdB)
+	sec := res*m.demodPerRE(a.MCS.Modulation()) +
+		codedBits*(m.DescramblePerBit+m.DematchPerBit) +
+		infoBits*iters*m.TurboPerBitIter +
+		infoBits*m.CRCPerBit
+	return time.Duration(sec * float64(time.Second))
+}
+
+// SubframeCost returns the total uplink cost of one cell subframe: cell
+// overhead plus every allocation.
+func (m CostModel) SubframeCost(w frame.SubframeWork, bw phy.Bandwidth, antennas int) time.Duration {
+	total := m.CellOverhead(bw, antennas)
+	for _, a := range w.Allocations {
+		total += m.AllocCost(a)
+	}
+	return total
+}
+
+// CoreFraction converts a per-subframe cost into the fraction of one
+// reference core the cell occupies in steady state (cost / 1 ms).
+func CoreFraction(perSubframe time.Duration) float64 {
+	return float64(perSubframe) / float64(time.Millisecond)
+}
+
+// UtilizationDemand estimates a cell's steady-state compute demand, in
+// reference-core fractions, when it runs at PRB utilization util with a
+// typical MCS and SNR margin. It is the bridge from coarse traffic traces
+// (internal/traffic.DayTrace) to compute requirements in the pooling
+// experiments.
+func (m CostModel) UtilizationDemand(bw phy.Bandwidth, antennas int, util float64, mcs phy.MCS, snrDB float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	nprb := int(math.Round(util * float64(bw.PRB())))
+	cost := m.CellOverhead(bw, antennas)
+	if nprb > 0 {
+		cost += m.AllocCost(frame.Allocation{
+			RNTI: 1, FirstPRB: 0, NumPRB: nprb, MCS: mcs, SNRdB: snrDB,
+		})
+	}
+	return CoreFraction(cost)
+}

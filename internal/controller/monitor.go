@@ -1,0 +1,114 @@
+// Package controller implements PRAN's control plane: it watches per-cell
+// compute demand, predicts its near future, sizes the active server set with
+// headroom (elastic scaling), places cells onto servers (bin packing with
+// minimal migration), and handles server failure by re-placing the victims
+// onto survivors or promoted standbys.
+//
+// The controller is deliberately separable from transport: experiments drive
+// Step directly with observed demands, while cmd/pran-sim wires the same
+// logic to live data-plane agents through internal/ctrlproto.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pran/internal/frame"
+	"pran/internal/phy"
+)
+
+// LoadMonitor maintains an exponentially weighted moving average of each
+// cell's compute demand in reference-core fractions. Safe for concurrent
+// use (heartbeat handlers feed it while the control loop reads).
+type LoadMonitor struct {
+	alpha float64
+
+	mu    sync.RWMutex
+	cells map[frame.CellID]float64
+	last  map[frame.CellID]float64
+}
+
+// NewLoadMonitor returns a monitor with smoothing factor alpha ∈ (0, 1];
+// alpha 1 tracks instantaneous load, small alpha smooths heavily.
+func NewLoadMonitor(alpha float64) (*LoadMonitor, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("controller: alpha %v outside (0,1]: %w", alpha, phy.ErrBadParameter)
+	}
+	return &LoadMonitor{
+		alpha: alpha,
+		cells: make(map[frame.CellID]float64),
+		last:  make(map[frame.CellID]float64),
+	}, nil
+}
+
+// Observe feeds one demand sample (core fractions) for a cell.
+func (m *LoadMonitor) Observe(cell frame.CellID, demand float64) {
+	if demand < 0 {
+		demand = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.cells[cell]; ok {
+		m.cells[cell] = old + m.alpha*(demand-old)
+	} else {
+		m.cells[cell] = demand
+	}
+	m.last[cell] = demand
+}
+
+// Demand returns the smoothed demand for a cell (0 if never observed).
+func (m *LoadMonitor) Demand(cell frame.CellID) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cells[cell]
+}
+
+// Last returns the most recent raw sample for a cell.
+func (m *LoadMonitor) Last(cell frame.CellID) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.last[cell]
+}
+
+// Demands returns a copy of all smoothed demands.
+func (m *LoadMonitor) Demands() map[frame.CellID]float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[frame.CellID]float64, len(m.cells))
+	for k, v := range m.cells {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalDemand returns the sum of smoothed demands.
+func (m *LoadMonitor) TotalDemand() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := 0.0
+	for _, v := range m.cells {
+		total += v
+	}
+	return total
+}
+
+// Cells returns the observed cell IDs in sorted order.
+func (m *LoadMonitor) Cells() []frame.CellID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]frame.CellID, 0, len(m.cells))
+	for c := range m.cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Forget drops a cell's state (cell teardown).
+func (m *LoadMonitor) Forget(cell frame.CellID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cells, cell)
+	delete(m.last, cell)
+}

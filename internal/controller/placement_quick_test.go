@@ -1,0 +1,117 @@
+package controller
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pran/internal/cluster"
+	"pran/internal/frame"
+)
+
+// TestPlaceInvariantsQuick property-checks the placer over random demand
+// sets and server pools:
+//
+//  1. no server's packed load ever exceeds its capacity,
+//  2. every demanded cell is placed (or the call errors with
+//     ErrUnplaceable),
+//  3. sticky re-placement never migrates a cell whose home still fits it.
+func TestPlaceInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCells := 1 + rng.Intn(60)
+		nServers := 1 + rng.Intn(10)
+		policy := FirstFitDecreasing
+		if rng.Intn(2) == 1 {
+			policy = WorstFit
+		}
+		demands := make(map[frame.CellID]float64, nCells)
+		for c := 0; c < nCells; c++ {
+			demands[frame.CellID(c)] = 0.1 + rng.Float64()*3
+		}
+		servers := make([]cluster.Server, nServers)
+		for s := range servers {
+			st := cluster.Active
+			if rng.Intn(4) == 0 {
+				st = cluster.Standby
+			}
+			servers[s] = cluster.Server{
+				ID: cluster.ServerID(s), Cores: 2 + rng.Intn(14),
+				SpeedFactor: 0.5 + rng.Float64(), State: st,
+			}
+		}
+		res, err := Place(demands, servers, nil, policy)
+		if errors.Is(err, ErrUnplaceable) {
+			return true // legitimately infeasible draw
+		}
+		if err != nil {
+			return false
+		}
+		// Invariant 1 + 2: full coverage within capacity.
+		load := map[cluster.ServerID]float64{}
+		for cell, d := range demands {
+			srv, ok := res.Placement[cell]
+			if !ok {
+				return false
+			}
+			load[srv] += d
+		}
+		capOf := map[cluster.ServerID]float64{}
+		for _, s := range servers {
+			capOf[s.ID] = s.Capacity()
+		}
+		for srv, l := range load {
+			if l > capOf[srv]+1e-9 {
+				return false
+			}
+		}
+		// Invariant 3: re-placing identical demands moves nothing.
+		res2, err := Place(demands, servers, res.Placement, policy)
+		if err != nil || res2.Migrations != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaleTargetQuick property-checks the scaling policy: the target never
+// under-provisions the forecast (capacity ≥ demand × (1+headroom) whenever
+// enough servers could exist), and hysteresis only ever steps down by one.
+func TestScaleTargetQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &ScalePolicy{
+			Headroom:   rng.Float64() * 0.5,
+			DownFactor: 0.5 + rng.Float64()*0.4,
+			DownRounds: 1 + rng.Intn(5),
+		}
+		if s.Validate() != nil {
+			return false
+		}
+		perServer := 4 + rng.Float64()*12
+		current := 1 + rng.Intn(20)
+		for round := 0; round < 50; round++ {
+			demand := rng.Float64() * 150
+			next := s.Target(demand, perServer, current)
+			// Never more than one step down.
+			if next < current-1 {
+				return false
+			}
+			// Scale-ups must cover the forecast with headroom.
+			if next > current {
+				if float64(next)*perServer < demand*(1+s.Headroom)-1e-9 {
+					return false
+				}
+			}
+			current = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"pran/internal/phy"
+)
+
+// ScalePolicy converts a (predicted) total demand into a target number of
+// active servers. Headroom buys reaction time: a 20% margin means the pool
+// always holds capacity for 1.2× the forecast, absorbing burstiness between
+// control-loop rounds (E10 ablates the margin).
+//
+// Hysteresis prevents flapping: scale-up triggers as soon as the target
+// exceeds the current count, scale-down only when the demand would still fit
+// comfortably (DownFactor) in the smaller pool for several consecutive
+// rounds (DownRounds).
+type ScalePolicy struct {
+	// Headroom is the fractional capacity margin above forecast demand.
+	Headroom float64
+	// DownFactor (< 1) is the occupancy a smaller pool must stay under
+	// before scale-down is allowed.
+	DownFactor float64
+	// DownRounds is how many consecutive rounds scale-down must be
+	// justified before it is applied.
+	DownRounds int
+
+	downStreak int
+}
+
+// DefaultScalePolicy returns PRAN's defaults: 20% headroom, scale down only
+// after 5 rounds below 70% occupancy of the smaller pool.
+func DefaultScalePolicy() *ScalePolicy {
+	return &ScalePolicy{Headroom: 0.20, DownFactor: 0.70, DownRounds: 5}
+}
+
+// Validate checks the policy parameters.
+func (s *ScalePolicy) Validate() error {
+	if s.Headroom < 0 || s.Headroom > 2 {
+		return fmt.Errorf("controller: headroom %v outside [0,2]: %w", s.Headroom, phy.ErrBadParameter)
+	}
+	if s.DownFactor <= 0 || s.DownFactor >= 1 {
+		return fmt.Errorf("controller: down factor %v outside (0,1): %w", s.DownFactor, phy.ErrBadParameter)
+	}
+	if s.DownRounds < 1 {
+		return fmt.Errorf("controller: down rounds %d < 1: %w", s.DownRounds, phy.ErrBadParameter)
+	}
+	return nil
+}
+
+// ServersFor returns the raw server count needed for a demand with the
+// policy's headroom (no hysteresis).
+func (s *ScalePolicy) ServersFor(demand, perServerCapacity float64) int {
+	if perServerCapacity <= 0 {
+		return 0
+	}
+	if demand <= 0 {
+		return 1 // keep one server warm for the floor load
+	}
+	return int(math.Ceil(demand * (1 + s.Headroom) / perServerCapacity))
+}
+
+// Target applies hysteresis: given the forecast demand, per-server capacity
+// and the current active count, it returns the next active count.
+func (s *ScalePolicy) Target(forecastDemand, perServerCapacity float64, current int) int {
+	need := s.ServersFor(forecastDemand, perServerCapacity)
+	if need > current {
+		s.downStreak = 0
+		return need
+	}
+	if need < current {
+		// Would the demand fit comfortably in the smaller pool?
+		smaller := float64(current-1) * perServerCapacity
+		if smaller > 0 && forecastDemand*(1+s.Headroom) < s.DownFactor*smaller {
+			s.downStreak++
+			if s.downStreak >= s.DownRounds {
+				s.downStreak = 0
+				return current - 1 // scale down one server at a time
+			}
+		} else {
+			s.downStreak = 0
+		}
+	} else {
+		s.downStreak = 0
+	}
+	return current
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"pran/internal/controller"
+	"pran/internal/dataplane"
+	"pran/internal/frame"
+	"pran/internal/phy"
+	"pran/internal/traffic"
+)
+
+// lowSNRConfig builds a single cell whose UEs sit right at their MCS
+// operating points, so first transmissions fail regularly and the HARQ loop
+// has work to do.
+func lowSNRConfig() Config {
+	cfg := smallConfig(1)
+	// Tight SNR spread pins UEs near the MCSForSNR switch threshold, where
+	// the fading jitter pushes a good fraction of TBs below water.
+	cfg.Cells[0].Profile = traffic.CellProfile{
+		Class:           traffic.Mixed,
+		PeakUtilization: 0.9,
+		SNRMeanDB:       8,
+		SNRStdDB:        0.5,
+		MeanUEsAtPeak:   4,
+	}
+	return cfg
+}
+
+func TestHARQLoopRecoversFailures(t *testing.T) {
+	s, err := New(lowSNRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.RunTTIs(400); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	// Let straggler retransmissions resolve.
+	if err := s.RunTTIs(40); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+
+	hs := s.HARQStatsTotal()
+	if hs.FirstTxFailures == 0 {
+		t.Fatal("no first-transmission failures at the operating point; scenario miscalibrated")
+	}
+	if hs.Retransmissions == 0 {
+		t.Fatal("failures occurred but nothing was retransmitted")
+	}
+	if hs.Recovered == 0 {
+		t.Fatal("retransmissions never recovered a transport block")
+	}
+	// Soft combining must recover the majority of resolved TBs within the
+	// RV budget. (The exact ratio wobbles a few percent across runs because
+	// worker completion order shifts which subframes see the busy-process
+	// filter; the invariant is "combining wins", not a point estimate.)
+	resolved := hs.Recovered + hs.Exhausted
+	if resolved > 0 && float64(hs.Recovered)/float64(resolved) < 0.5 {
+		t.Fatalf("recovery ratio %.2f too low (%+v)", float64(hs.Recovered)/float64(resolved), hs)
+	}
+	t.Logf("HARQ: %+v", hs)
+}
+
+func TestHARQInjectRespectsGrid(t *testing.T) {
+	// The retransmission injector must always yield valid, non-overlapping
+	// work even when fresh traffic occupies the same PRBs.
+	loop := newHARQLoop()
+	alloc := frame.Allocation{RNTI: 7, FirstPRB: 1, NumPRB: 3, MCS: 9, HARQProcess: 2, SNRdB: 10}
+	task := &dataplane.Task{Cell: 0, TTI: 10, Alloc: alloc, Err: phy.ErrCRC}
+	loop.onTaskDone(task, make([]byte, 8))
+
+	work := frame.SubframeWork{
+		Cell: 0, TTI: 18,
+		Allocations: []frame.Allocation{
+			{RNTI: 1, FirstPRB: 0, NumPRB: 3, MCS: 5, SNRdB: 20}, // overlaps
+			{RNTI: 2, FirstPRB: 4, NumPRB: 2, MCS: 5, SNRdB: 20}, // clear
+		},
+	}
+	overrides := loop.inject(&work)
+	if len(overrides) != 1 {
+		t.Fatalf("expected one override, got %d", len(overrides))
+	}
+	if err := work.Validate(phy.BW1_4MHz); err != nil {
+		t.Fatalf("injected work invalid: %v", err)
+	}
+	found := false
+	for i, a := range work.Allocations {
+		if a.RNTI == 7 {
+			found = true
+			if a.RV != 2 {
+				t.Fatalf("first retransmission must use RV 2, got %d", a.RV)
+			}
+			if _, ok := overrides[i]; !ok {
+				t.Fatal("override index does not match retransmission")
+			}
+		}
+		if a.RNTI == 1 {
+			t.Fatal("overlapping fresh allocation survived")
+		}
+	}
+	if !found {
+		t.Fatal("retransmission not injected")
+	}
+}
+
+func TestHARQInjectDefersConflicts(t *testing.T) {
+	loop := newHARQLoop()
+	a1 := frame.Allocation{RNTI: 1, FirstPRB: 0, NumPRB: 4, MCS: 9, HARQProcess: 0, SNRdB: 10}
+	a2 := frame.Allocation{RNTI: 2, FirstPRB: 2, NumPRB: 4, MCS: 9, HARQProcess: 0, SNRdB: 10}
+	loop.onTaskDone(&dataplane.Task{TTI: 0, Alloc: a1, Err: phy.ErrCRC}, make([]byte, 4))
+	loop.onTaskDone(&dataplane.Task{TTI: 0, Alloc: a2, Err: phy.ErrCRC}, make([]byte, 4))
+
+	work := frame.SubframeWork{Cell: 0, TTI: 8}
+	overrides := loop.inject(&work)
+	if len(overrides) != 1 {
+		t.Fatalf("conflicting retransmissions both injected: %d", len(overrides))
+	}
+	if err := work.Validate(phy.BW1_4MHz); err != nil {
+		t.Fatal(err)
+	}
+	// The deferred one goes out next subframe.
+	work2 := frame.SubframeWork{Cell: 0, TTI: 9}
+	if got := loop.inject(&work2); len(got) != 1 {
+		t.Fatalf("deferred retransmission not injected next TTI: %d", len(got))
+	}
+}
+
+func TestHARQExhaustion(t *testing.T) {
+	loop := newHARQLoop()
+	alloc := frame.Allocation{RNTI: 3, FirstPRB: 0, NumPRB: 2, MCS: 9, HARQProcess: 1, SNRdB: 0}
+	loop.onTaskDone(&dataplane.Task{TTI: 0, Alloc: alloc, Err: phy.ErrCRC}, make([]byte, 4))
+	tti := frame.TTI(8)
+	for round := 0; round < 3; round++ {
+		work := frame.SubframeWork{Cell: 0, TTI: tti}
+		overrides := loop.inject(&work)
+		if len(overrides) != 1 {
+			t.Fatalf("round %d: retransmission missing", round)
+		}
+		retx := work.Allocations[len(work.Allocations)-1]
+		loop.onTaskDone(&dataplane.Task{TTI: tti, Alloc: retx, Err: phy.ErrCRC}, make([]byte, 4))
+		tti += 8
+	}
+	// All four transmissions used; the process must be dropped.
+	work := frame.SubframeWork{Cell: 0, TTI: tti}
+	if got := loop.inject(&work); len(got) != 0 {
+		t.Fatal("exhausted process still retransmitting")
+	}
+	st := loop.snapshot()
+	if st.Exhausted != 1 || st.Retransmissions != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHARQAbandonedTasksDoNotAdvance(t *testing.T) {
+	loop := newHARQLoop()
+	alloc := frame.Allocation{RNTI: 4, FirstPRB: 0, NumPRB: 2, MCS: 9, SNRdB: 10}
+	loop.onTaskDone(&dataplane.Task{TTI: 0, Alloc: alloc, Err: dataplane.ErrAbandoned}, nil)
+	if loop.snapshot().FirstTxFailures != 0 {
+		t.Fatal("abandoned task counted as CRC failure")
+	}
+	work := frame.SubframeWork{Cell: 0, TTI: 8}
+	if got := loop.inject(&work); len(got) != 0 {
+		t.Fatal("abandoned task scheduled a retransmission")
+	}
+}
+
+// Ensure the HARQ-enabled system remains usable under all the existing
+// config paths (controller stepping, RAN programs).
+func TestHARQSystemIntegration(t *testing.T) {
+	cfg := lowSNRConfig()
+	cfg.Controller = controller.DefaultConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.MeasuredMissRate(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pool().Stats().Submitted == 0 {
+		t.Fatal("no traffic")
+	}
+}

@@ -1,0 +1,309 @@
+package ctrlproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler receives controller-side protocol events. Callbacks run on the
+// per-agent reader goroutine; implementations must be safe for concurrent
+// calls from different agents.
+type Handler interface {
+	// OnRegister runs when an agent registers; returning an error rejects
+	// and closes the connection.
+	OnRegister(a *Agent, reg *Register) error
+	// OnHeartbeat runs for each load report.
+	OnHeartbeat(a *Agent, hb *Heartbeat)
+	// OnMessage runs for every other agent→controller message (acks,
+	// errors, migration state).
+	OnMessage(a *Agent, m Message)
+	// OnDisconnect runs when the agent's connection ends; err is the read
+	// error (io.EOF for clean shutdown).
+	OnDisconnect(a *Agent, err error)
+}
+
+// Agent is the controller's handle on one connected data-plane server.
+// Command senders may be called from any goroutine.
+type Agent struct {
+	// ID is the agent's registered server ID.
+	ID uint32
+	// Cores and SpeedMilli echo the registration.
+	Cores      uint16
+	SpeedMilli uint32
+
+	conn *Conn
+	seq  uint32
+	mu   sync.Mutex
+}
+
+// nextSeq returns a fresh command sequence number.
+func (a *Agent) nextSeq() uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	return a.seq
+}
+
+// Send transmits a raw message to the agent.
+func (a *Agent) Send(m Message) error { return a.conn.WriteMessage(m) }
+
+// AssignCell sends a cell assignment and returns its sequence number.
+func (a *Agent) AssignCell(cell, pci, prb uint16, antennas uint8) (uint32, error) {
+	seq := a.nextSeq()
+	return seq, a.Send(&AssignCell{Seq: seq, Cell: cell, PCI: pci, PRB: prb, Antennas: antennas})
+}
+
+// RemoveCell sends a cell removal.
+func (a *Agent) RemoveCell(cell uint16) (uint32, error) {
+	seq := a.nextSeq()
+	return seq, a.Send(&RemoveCell{Seq: seq, Cell: cell})
+}
+
+// MigrateState ships a cell's serialized state to the agent.
+func (a *Agent) MigrateState(cell uint16, state []byte) (uint32, error) {
+	seq := a.nextSeq()
+	return seq, a.Send(&MigrateState{Seq: seq, Cell: cell, State: state})
+}
+
+// Drain tells the agent to stop accepting new cells.
+func (a *Agent) Drain() (uint32, error) {
+	seq := a.nextSeq()
+	return seq, a.Send(&Drain{Seq: seq})
+}
+
+// Promote activates a standby agent.
+func (a *Agent) Promote() (uint32, error) {
+	seq := a.nextSeq()
+	return seq, a.Send(&Promote{Seq: seq})
+}
+
+// Close terminates the agent connection.
+func (a *Agent) Close() error { return a.conn.Close() }
+
+// Server is the controller-side protocol endpoint.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	// HeartbeatInterval is advertised to agents at registration.
+	HeartbeatInterval time.Duration
+	// RegisterTimeout bounds the wait for the initial Register.
+	RegisterTimeout time.Duration
+
+	mu     sync.Mutex
+	agents map[uint32]*Agent
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a listener. Call Serve to start accepting.
+func NewServer(ln net.Listener, h Handler) *Server {
+	return &Server{
+		ln:                ln,
+		handler:           h,
+		HeartbeatInterval: 100 * time.Millisecond,
+		RegisterTimeout:   5 * time.Second,
+		agents:            make(map[uint32]*Agent),
+	}
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts agent connections until the listener closes. It always
+// returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve() error {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// Close stops the listener and all agent connections, then waits for the
+// per-agent goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	agents := make([]*Agent, 0, len(s.agents))
+	for _, a := range s.agents {
+		agents = append(agents, a)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, a := range agents {
+		_ = a.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Agent returns the connected agent with the given ID.
+func (s *Server) Agent(id uint32) (*Agent, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.agents[id]
+	return a, ok
+}
+
+// NumAgents returns the number of connected agents.
+func (s *Server) NumAgents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.agents)
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	conn := NewConn(nc)
+	conn.ReadTimeout = s.RegisterTimeout
+	first, err := conn.ReadMessage()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	reg, ok := first.(*Register)
+	if !ok {
+		_ = conn.WriteMessage(&ErrorMsg{Code: 1, Text: "expected register"})
+		_ = conn.Close()
+		return
+	}
+	if reg.ProtoVersion != Version {
+		_ = conn.WriteMessage(&ErrorMsg{Code: 2, Text: ErrVersionMismatch.Error()})
+		_ = conn.Close()
+		return
+	}
+	agent := &Agent{ID: reg.ServerID, Cores: reg.Cores, SpeedMilli: reg.SpeedMilli, conn: conn}
+	if err := s.handler.OnRegister(agent, reg); err != nil {
+		_ = conn.WriteMessage(&ErrorMsg{Code: 3, Text: err.Error()})
+		_ = conn.Close()
+		return
+	}
+	s.mu.Lock()
+	if old, exists := s.agents[agent.ID]; exists {
+		_ = old.Close()
+	}
+	s.agents[agent.ID] = agent
+	s.mu.Unlock()
+	if err := conn.WriteMessage(&RegisterAck{HeartbeatMillis: uint32(s.HeartbeatInterval / time.Millisecond)}); err != nil {
+		s.dropAgent(agent, err)
+		return
+	}
+	// Heartbeats should arrive every interval; tolerate 10× before
+	// declaring the agent dead.
+	conn.ReadTimeout = 10 * s.HeartbeatInterval
+	for {
+		m, err := conn.ReadMessage()
+		if err != nil {
+			s.dropAgent(agent, err)
+			return
+		}
+		switch t := m.(type) {
+		case *Heartbeat:
+			s.handler.OnHeartbeat(agent, t)
+		default:
+			s.handler.OnMessage(agent, m)
+		}
+	}
+}
+
+func (s *Server) dropAgent(a *Agent, err error) {
+	s.mu.Lock()
+	if s.agents[a.ID] == a {
+		delete(s.agents, a.ID)
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	_ = a.conn.Close()
+	if !closed || !errors.Is(err, net.ErrClosed) {
+		s.handler.OnDisconnect(a, err)
+	}
+}
+
+// Client is the agent-side protocol endpoint. The caller owns the receive
+// loop: call Receive repeatedly and dispatch on the returned message.
+// Heartbeats and replies may be sent from any goroutine.
+type Client struct {
+	conn *Conn
+	// Interval is the heartbeat interval the controller requested.
+	Interval time.Duration
+	serverID uint32
+}
+
+// DialAgent connects to the controller, registers, and returns the client
+// after the controller's ack.
+func DialAgent(addr string, serverID uint32, cores uint16, speedMilli uint32) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := NewConn(nc)
+	reg := &Register{ProtoVersion: Version, ServerID: serverID, Cores: cores, SpeedMilli: speedMilli}
+	if err := conn.WriteMessage(reg); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	conn.ReadTimeout = 5 * time.Second
+	m, err := conn.ReadMessage()
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	switch t := m.(type) {
+	case *RegisterAck:
+		conn.ReadTimeout = 0
+		return &Client{
+			conn:     conn,
+			Interval: time.Duration(t.HeartbeatMillis) * time.Millisecond,
+			serverID: serverID,
+		}, nil
+	case *ErrorMsg:
+		_ = conn.Close()
+		return nil, fmt.Errorf("ctrlproto: registration rejected: %s", t.Text)
+	default:
+		_ = conn.Close()
+		return nil, fmt.Errorf("ctrlproto: unexpected %v during registration: %w", m.Type(), ErrBadMessage)
+	}
+}
+
+// ServerID returns the identity this client registered with.
+func (c *Client) ServerID() uint32 { return c.serverID }
+
+// Heartbeat sends a load report.
+func (c *Client) Heartbeat(hb *Heartbeat) error {
+	hb.ServerID = c.serverID
+	return c.conn.WriteMessage(hb)
+}
+
+// Receive blocks for the next controller command.
+func (c *Client) Receive() (Message, error) { return c.conn.ReadMessage() }
+
+// Ack acknowledges a command.
+func (c *Client) Ack(seq uint32) error { return c.conn.WriteMessage(&Ack{Seq: seq}) }
+
+// SendError reports a command failure.
+func (c *Client) SendError(seq uint32, code uint16, text string) error {
+	return c.conn.WriteMessage(&ErrorMsg{Seq: seq, Code: code, Text: text})
+}
+
+// SendMigrateState ships serialized cell state to the controller.
+func (c *Client) SendMigrateState(cell uint16, state []byte) error {
+	return c.conn.WriteMessage(&MigrateState{Cell: cell, State: state})
+}
+
+// SendCellLoad reports one cell's compute demand.
+func (c *Client) SendCellLoad(cell uint16, milliCores uint32, tti uint64) error {
+	return c.conn.WriteMessage(&CellLoad{ServerID: c.serverID, Cell: cell, MilliCores: milliCores, TTI: tti})
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }

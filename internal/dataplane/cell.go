@@ -1,0 +1,191 @@
+package dataplane
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pran/internal/frame"
+	"pran/internal/phy"
+)
+
+// CellProcessor is one cell's ingest path in the pool: it receives the
+// cell's uplink subframe as time-domain I/Q (what the fronthaul delivers
+// under the RF-IQ split), performs the OFDM FFT stage, extracts each
+// scheduled allocation's resource elements, and submits per-UE decode tasks
+// to the worker pool.
+//
+// The FFT stage runs on the ingest caller (one per cell per TTI), mirroring
+// PRAN's design where cell-level low-PHY work is pinned and only UE-level
+// work is pool-scheduled. A CellProcessor is not safe for concurrent use.
+type CellProcessor struct {
+	cfg   frame.CellConfig
+	ofdm  *phy.OFDMModulator
+	grid  *frame.Grid
+	harq  *HARQManager
+	pool  *Pool
+	reBuf []complex128 // reusable RE extraction buffer (max allocation)
+	// FFTTime accumulates time spent in the cell-level FFT stage.
+	FFTTime time.Duration
+
+	// EstimateChannel enables pilot-based LS channel estimation and
+	// per-subcarrier equalization of the data symbols — required when the
+	// link applies a fading response (RRHEmulator.Fading), harmless
+	// otherwise.
+	EstimateChannel bool
+	estBuf          []complex128 // running channel estimate
+	estRow          []complex128 // per-row LS scratch
+	pilotRef        []complex128 // known pilot values
+	// EstimateTime accumulates time in estimation + equalization.
+	EstimateTime time.Duration
+}
+
+// NewCellProcessor builds the ingest path for one cell.
+func NewCellProcessor(cfg frame.CellConfig, pool *Pool) (*CellProcessor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ofdm, err := phy.NewOFDMModulator(cfg.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := frame.NewGrid(cfg.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	return &CellProcessor{
+		cfg:   cfg,
+		ofdm:  ofdm,
+		grid:  grid,
+		harq:  NewHARQManager(),
+		pool:  pool,
+		reBuf: make([]complex128, cfg.Bandwidth.PRB()*phy.DataREsPerPRB),
+	}, nil
+}
+
+// Config returns the cell configuration.
+func (c *CellProcessor) Config() frame.CellConfig { return c.cfg }
+
+// HARQ exposes the cell's HARQ manager (the controller migrates this state
+// when re-placing a cell).
+func (c *CellProcessor) HARQ() *HARQManager { return c.harq }
+
+// IngestSubframe processes one received subframe: samples holds
+// SymbolsPerSubframe × FFTSize time-domain samples (symbol-major) and work
+// describes the scheduled allocations. Each task's noise estimate derives
+// from its allocation's SNR (as a real receiver's channel estimator would
+// supply). Per-UE tasks inherit deadline = now + pool budget; onDone
+// (optional) is attached to every task.
+func (c *CellProcessor) IngestSubframe(samples []complex128, work frame.SubframeWork, onDone func(*Task)) error {
+	fftSize := c.ofdm.FFTSize()
+	if len(samples) != fftSize*phy.SymbolsPerSubframe {
+		return fmt.Errorf("dataplane: %d samples, want %d: %w", len(samples), fftSize*phy.SymbolsPerSubframe, phy.ErrBadParameter)
+	}
+	if err := work.Validate(c.cfg.Bandwidth); err != nil {
+		return err
+	}
+	now := time.Now()
+	deadline := now.Add(c.pool.cfg.Budget())
+
+	// Cell-level FFT stage: time domain → resource grid.
+	fftStart := time.Now()
+	for l := 0; l < phy.SymbolsPerSubframe; l++ {
+		row, err := c.grid.Symbol(l)
+		if err != nil {
+			return err
+		}
+		if err := c.ofdm.Demodulate(row, samples[l*fftSize:(l+1)*fftSize]); err != nil {
+			return err
+		}
+	}
+	c.FFTTime += time.Since(fftStart)
+
+	// Channel estimation + equalization (cell-level, shared by all UEs).
+	noiseEnhancement := 1.0
+	if c.EstimateChannel {
+		estStart := time.Now()
+		enh, err := c.equalizeSubframe(work.TTI)
+		if err != nil {
+			return err
+		}
+		noiseEnhancement = enh
+		c.EstimateTime += time.Since(estStart)
+	}
+
+	// UE-level tasks: extract REs and submit.
+	for _, a := range work.Allocations {
+		res := make([]complex128, a.NumPRB*phy.DataREsPerPRB)
+		if err := c.grid.Extract(res, a); err != nil {
+			return err
+		}
+		t := &Task{
+			Cell:     work.Cell,
+			PCI:      c.cfg.PCI,
+			TTI:      work.TTI,
+			Alloc:    a,
+			REs:      res,
+			N0:       math.Pow(10, -a.SNRdB/10) * noiseEnhancement,
+			Deadline: deadline,
+			Enqueued: now,
+			OnDone:   onDone,
+		}
+		if sb := c.harq.Prepare(a, work.TTI); sb != nil {
+			t.Soft = sb
+		}
+		if err := c.pool.Submit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// equalizeSubframe estimates the channel from the two pilot rows and
+// divides every data row by the estimate, returning the mean noise
+// enhancement factor to scale the demodulators' noise power.
+func (c *CellProcessor) equalizeSubframe(tti frame.TTI) (float64, error) {
+	sc := c.grid.Subcarriers()
+	if len(c.estBuf) != sc {
+		c.estBuf = make([]complex128, sc)
+		c.estRow = make([]complex128, sc)
+		c.pilotRef = make([]complex128, sc)
+	}
+	refs := frame.ReferenceSymbolIndices()
+	for i := range c.estBuf {
+		c.estBuf[i] = 0
+	}
+	for _, l := range refs {
+		row, err := c.grid.Symbol(l)
+		if err != nil {
+			return 0, err
+		}
+		frame.Pilots(c.pilotRef, c.cfg.PCI, tti, l)
+		if err := phy.EstimateLS(c.estRow, row, c.pilotRef); err != nil {
+			return 0, err
+		}
+		for k := range c.estBuf {
+			c.estBuf[k] += c.estRow[k]
+		}
+	}
+	inv := complex(1/float64(len(refs)), 0)
+	for k := range c.estBuf {
+		c.estBuf[k] *= inv
+	}
+	var enh float64
+	dataRows := 0
+	for l := 0; l < phy.SymbolsPerSubframe; l++ {
+		if frame.IsReferenceSymbol(l) {
+			continue
+		}
+		row, err := c.grid.Symbol(l)
+		if err != nil {
+			return 0, err
+		}
+		e, err := phy.Equalize(row, c.estBuf)
+		if err != nil {
+			return 0, err
+		}
+		enh += e
+		dataRows++
+	}
+	return enh / float64(dataRows), nil
+}

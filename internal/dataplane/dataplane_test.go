@@ -1,0 +1,391 @@
+package dataplane
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pran/internal/frame"
+	"pran/internal/phy"
+)
+
+// testCellConfig is a small, fast cell used throughout the tests.
+func testCellConfig() frame.CellConfig {
+	return frame.CellConfig{ID: 1, PCI: 42, Bandwidth: phy.BW1_4MHz, Antennas: 1}
+}
+
+func testPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+func TestQueueEDFOrder(t *testing.T) {
+	q := taskQueue{}
+	now := time.Now()
+	a := &Task{Deadline: now.Add(3 * time.Millisecond)}
+	b := &Task{Deadline: now.Add(1 * time.Millisecond)}
+	c := &Task{Deadline: now.Add(2 * time.Millisecond)}
+	q.push(a)
+	q.push(b)
+	q.push(c)
+	if q.pop() != b || q.pop() != c || q.pop() != a {
+		t.Fatal("EDF order wrong")
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q := taskQueue{fifo: true}
+	now := time.Now()
+	// Deadlines inverted vs arrival: FIFO must ignore them.
+	a := &Task{Enqueued: now, Deadline: now.Add(9 * time.Millisecond)}
+	b := &Task{Enqueued: now.Add(time.Microsecond), Deadline: now.Add(1 * time.Millisecond)}
+	q.push(a)
+	q.push(b)
+	if q.pop() != a || q.pop() != b {
+		t.Fatal("FIFO order wrong")
+	}
+}
+
+func TestQueueTieBreakIsStable(t *testing.T) {
+	q := taskQueue{}
+	now := time.Now()
+	var tasks []*Task
+	for i := 0; i < 20; i++ {
+		tk := &Task{Deadline: now, Alloc: frame.Allocation{RNTI: frame.RNTI(i)}}
+		tasks = append(tasks, tk)
+		q.push(tk)
+	}
+	for i := 0; i < 20; i++ {
+		if q.pop() != tasks[i] {
+			t.Fatal("equal-deadline tasks reordered")
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Workers: 0, DeadlineScale: 1}).Validate(); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if err := (Config{Workers: 1, DeadlineScale: 0}).Validate(); err == nil {
+		t.Fatal("0 scale accepted")
+	}
+	c := Config{Workers: 1, DeadlineScale: 2}
+	if c.Budget() != 4*time.Millisecond {
+		t.Fatalf("budget %v", c.Budget())
+	}
+	if EDF.String() != "edf" || FIFO.String() != "fifo" {
+		t.Fatal("policy names")
+	}
+}
+
+// endToEnd pushes one subframe through RRH → CellProcessor → pool and
+// returns the tasks in completion order.
+func endToEnd(t *testing.T, pool *Pool, work frame.SubframeWork) []*Task {
+	t.Helper()
+	cfg := testCellConfig()
+	rrh, err := NewRRHEmulator(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewCellProcessor(cfg, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, err := rrh.RandomPayloads(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := rrh.Emit(work, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var done []*Task
+	var wg sync.WaitGroup
+	wg.Add(len(work.Allocations))
+	err = cp.IngestSubframe(samples, work, func(tk *Task) {
+		mu.Lock()
+		done = append(done, tk)
+		mu.Unlock()
+		wg.Done()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// Verify payloads against ground truth by RNTI.
+	for _, tk := range done {
+		if tk.Err != nil {
+			continue
+		}
+		for i, a := range work.Allocations {
+			if a.RNTI == tk.Alloc.RNTI && a.FirstPRB == tk.Alloc.FirstPRB {
+				if !bytes.Equal(tk.Payload, payloads[i]) {
+					t.Fatalf("rnti %d: decoded payload differs from transmitted", a.RNTI)
+				}
+			}
+		}
+	}
+	return done
+}
+
+func TestEndToEndSubframeDecode(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2, Policy: EDF, DeadlineScale: 1000})
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 42,
+		Allocations: []frame.Allocation{
+			{RNTI: 100, FirstPRB: 0, NumPRB: 3, MCS: 8, SNRdB: phy.MCS(8).OperatingSNR() + 4},
+			{RNTI: 101, FirstPRB: 3, NumPRB: 3, MCS: 12, SNRdB: phy.MCS(12).OperatingSNR() + 4},
+		},
+	}
+	done := endToEnd(t, pool, work)
+	if len(done) != 2 {
+		t.Fatalf("%d tasks done", len(done))
+	}
+	for _, tk := range done {
+		if tk.Err != nil {
+			t.Fatalf("rnti %d: %v", tk.Alloc.RNTI, tk.Err)
+		}
+		if tk.TurboIterations < 1 {
+			t.Fatal("iterations not recorded")
+		}
+		if tk.Latency() <= 0 {
+			t.Fatal("latency not recorded")
+		}
+	}
+	st := pool.Stats()
+	if st.Submitted != 2 || st.Completed != 2 || st.CRCFailures != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEndToEndLowSNRFailsCRC(t *testing.T) {
+	pool := testPool(t, Config{Workers: 1, Policy: EDF, DeadlineScale: 1000})
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 1,
+		Allocations: []frame.Allocation{
+			{RNTI: 100, FirstPRB: 0, NumPRB: 4, MCS: 20, SNRdB: phy.MCS(20).OperatingSNR() - 15},
+		},
+	}
+	done := endToEnd(t, pool, work)
+	if len(done) != 1 || !errors.Is(done[0].Err, phy.ErrCRC) {
+		t.Fatalf("want CRC failure, got %v", done[0].Err)
+	}
+	if pool.Stats().CRCFailures != 1 {
+		t.Fatal("CRC failure not counted")
+	}
+}
+
+func TestHARQRetransmissionViaDataplane(t *testing.T) {
+	// First TX below the operating point usually fails; a chase-combined
+	// retransmission through the cell's HARQ manager must succeed.
+	poolCfg := Config{Workers: 1, Policy: EDF, DeadlineScale: 1000}
+	pool := testPool(t, poolCfg)
+	cfg := testCellConfig()
+	rrh, _ := NewRRHEmulator(cfg, 21)
+	cp, _ := NewCellProcessor(cfg, pool)
+
+	alloc := frame.Allocation{
+		RNTI: 50, FirstPRB: 0, NumPRB: 6, MCS: 14, HARQProcess: 2,
+		SNRdB: phy.MCS(14).OperatingSNR() - 2.5,
+	}
+	work := frame.SubframeWork{Cell: 1, TTI: 10, Allocations: []frame.Allocation{alloc}}
+	payloads, _ := rrh.RandomPayloads(work)
+
+	runOnce := func(w frame.SubframeWork) *Task {
+		samples, err := rrh.Emit(w, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := make(chan *Task, 1)
+		if err := cp.IngestSubframe(samples, w, func(tk *Task) { ch <- tk }); err != nil {
+			t.Fatal(err)
+		}
+		return <-ch
+	}
+
+	first := runOnce(work)
+	// Retransmission 8 TTIs later, same HARQ process, RV 2.
+	work2 := work
+	work2.TTI = 18
+	work2.Allocations = []frame.Allocation{alloc}
+	work2.Allocations[0].RV = 2
+	second := runOnce(work2)
+	if second.Err != nil {
+		t.Fatalf("combined retransmission failed (first err=%v): %v", first.Err, second.Err)
+	}
+	if !bytes.Equal(second.Payload, payloads[0]) {
+		t.Fatal("combined decode returned wrong payload")
+	}
+	if cp.HARQ().Processes() == 0 || cp.HARQ().StateBytes() <= 0 {
+		t.Fatal("HARQ state not tracked")
+	}
+}
+
+func TestAbandonLate(t *testing.T) {
+	// With an absurdly tight budget and AbandonLate, queued tasks must be
+	// dropped as ErrAbandoned and counted as misses.
+	pool := testPool(t, Config{Workers: 1, Policy: EDF, DeadlineScale: 1e-6, AbandonLate: true})
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 3,
+		Allocations: []frame.Allocation{
+			{RNTI: 1, FirstPRB: 0, NumPRB: 3, MCS: 5, SNRdB: 30},
+			{RNTI: 2, FirstPRB: 3, NumPRB: 3, MCS: 5, SNRdB: 30},
+		},
+	}
+	done := endToEnd(t, pool, work)
+	abandoned := 0
+	for _, tk := range done {
+		if errors.Is(tk.Err, ErrAbandoned) {
+			abandoned++
+		}
+	}
+	if abandoned == 0 {
+		t.Fatal("no task abandoned under an impossible budget")
+	}
+	st := pool.Stats()
+	if st.Abandoned != uint64(abandoned) || st.DeadlineMisses == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MissRate() <= 0 {
+		t.Fatal("miss rate zero")
+	}
+}
+
+func TestPoolCloseSemantics(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, DeadlineScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	if err := pool.Submit(&Task{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestPoolDrain(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2, DeadlineScale: 1000})
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 9,
+		Allocations: []frame.Allocation{
+			{RNTI: 1, FirstPRB: 0, NumPRB: 2, MCS: 4, SNRdB: 20},
+			{RNTI: 2, FirstPRB: 2, NumPRB: 2, MCS: 4, SNRdB: 20},
+			{RNTI: 3, FirstPRB: 4, NumPRB: 2, MCS: 4, SNRdB: 20},
+		},
+	}
+	cfg := testCellConfig()
+	rrh, _ := NewRRHEmulator(cfg, 3)
+	cp, _ := NewCellProcessor(cfg, pool)
+	payloads, _ := rrh.RandomPayloads(work)
+	samples, _ := rrh.Emit(work, payloads)
+	if err := cp.IngestSubframe(samples, work, nil); err != nil {
+		t.Fatal(err)
+	}
+	pool.Drain()
+	if pool.QueueLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+	if got := pool.Stats().Completed; got != 3 {
+		t.Fatalf("completed %d", got)
+	}
+}
+
+func TestNaiveAllocMode(t *testing.T) {
+	pool := testPool(t, Config{Workers: 1, DeadlineScale: 1000, NaiveAlloc: true})
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 2,
+		Allocations: []frame.Allocation{
+			{RNTI: 9, FirstPRB: 0, NumPRB: 3, MCS: 6, SNRdB: 20},
+		},
+	}
+	done := endToEnd(t, pool, work)
+	if len(done) != 1 || done[0].Err != nil {
+		t.Fatalf("naive mode decode failed: %+v", done[0].Err)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	pool := testPool(t, Config{Workers: 1, DeadlineScale: 1})
+	cp, err := NewCellProcessor(testCellConfig(), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.IngestSubframe(make([]complex128, 7), frame.SubframeWork{}, nil); err == nil {
+		t.Fatal("short sample buffer accepted")
+	}
+	n := cp.Config().Bandwidth.FFTSize() * phy.SymbolsPerSubframe
+	bad := frame.SubframeWork{Allocations: []frame.Allocation{{RNTI: 1, FirstPRB: 0, NumPRB: 99, MCS: 5}}}
+	if err := cp.IngestSubframe(make([]complex128, n), bad, nil); err == nil {
+		t.Fatal("invalid work accepted")
+	}
+}
+
+func TestRRHValidation(t *testing.T) {
+	rrh, err := NewRRHEmulator(testCellConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := frame.SubframeWork{Allocations: []frame.Allocation{{RNTI: 1, FirstPRB: 0, NumPRB: 2, MCS: 3, SNRdB: 20}}}
+	if _, err := rrh.Emit(work, nil); err == nil {
+		t.Fatal("payload count mismatch accepted")
+	}
+	if _, err := NewRRHEmulator(frame.CellConfig{Bandwidth: phy.Bandwidth(9)}, 1); err == nil {
+		t.Fatal("bad cell config accepted")
+	}
+}
+
+func TestHARQManagerStateTransitions(t *testing.T) {
+	h := NewHARQManager()
+	a := frame.Allocation{RNTI: 1, NumPRB: 4, MCS: 10, HARQProcess: 0, RV: 0, SNRdB: 10}
+	sb1 := h.Prepare(a, 1)
+	if sb1 == nil {
+		t.Fatal("no buffer for first TX")
+	}
+	// Retransmission same config: same buffer.
+	a.RV = 2
+	if h.Prepare(a, 9) != sb1 {
+		t.Fatal("retransmission got a different buffer")
+	}
+	// New transmission resets but reuses the buffer.
+	a.RV = 0
+	if h.Prepare(a, 17) != sb1 {
+		t.Fatal("new TX same config should reuse buffer")
+	}
+	// Config change rebuilds.
+	a.MCS = 12
+	if h.Prepare(a, 25) == sb1 {
+		t.Fatal("config change must rebuild buffer")
+	}
+	if h.Processes() != 1 {
+		t.Fatalf("processes %d", h.Processes())
+	}
+	h.Reset()
+	if h.Processes() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCalibrateDeadlineScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	s, err := CalibrateDeadlineScale(phy.BW5MHz, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1 || s > 1e4 {
+		t.Fatalf("scale %v implausible", s)
+	}
+}

@@ -1,0 +1,198 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"pran/internal/frame"
+	"pran/internal/phy"
+)
+
+// HARQManager keeps per-(RNTI, HARQ process) soft-combining state for one
+// cell. On a first transmission (RV 0) the process's soft buffer is reset;
+// on retransmissions with a matching configuration the existing buffer is
+// returned so the decoder accumulates LLRs (incremental redundancy).
+//
+// This state is exactly what PRAN must migrate when the controller moves a
+// cell between servers — StateBytes reports its size, which experiment E9
+// records as the migration payload.
+type HARQManager struct {
+	states map[harqStateKey]*harqState
+	protos map[procKey]*phy.TransportProcessor
+}
+
+type harqStateKey struct {
+	rnti frame.RNTI
+	proc uint8
+}
+
+type harqState struct {
+	sb   *phy.SoftBuffer
+	mcs  phy.MCS
+	nprb int
+	tti  frame.TTI
+}
+
+// NewHARQManager returns an empty manager.
+func NewHARQManager() *HARQManager {
+	return &HARQManager{
+		states: make(map[harqStateKey]*harqState),
+		protos: make(map[procKey]*phy.TransportProcessor),
+	}
+}
+
+// prototype returns a processor used only to size soft buffers.
+func (h *HARQManager) prototype(mcs phy.MCS, nprb int) (*phy.TransportProcessor, error) {
+	key := procKey{mcs, nprb}
+	if p, ok := h.protos[key]; ok {
+		return p, nil
+	}
+	p, err := phy.NewTransportProcessor(mcs, nprb)
+	if err != nil {
+		return nil, err
+	}
+	h.protos[key] = p
+	return p, nil
+}
+
+// Prepare returns the soft buffer to use for an allocation's decode, or nil
+// when no buffer could be built (the decode then runs without combining).
+// RV 0 resets the process; a retransmission reuses the accumulated LLRs if
+// the configuration matches, else the buffer is rebuilt.
+func (h *HARQManager) Prepare(a frame.Allocation, tti frame.TTI) *phy.SoftBuffer {
+	key := harqStateKey{a.RNTI, a.HARQProcess}
+	st, ok := h.states[key]
+	sameCfg := ok && st.mcs == a.MCS && st.nprb == a.NumPRB
+	if a.RV != 0 && sameCfg {
+		st.tti = tti
+		return st.sb
+	}
+	proto, err := h.prototype(a.MCS, a.NumPRB)
+	if err != nil {
+		return nil
+	}
+	if sameCfg {
+		st.sb.Reset()
+		st.tti = tti
+		return st.sb
+	}
+	st = &harqState{sb: proto.NewSoftBuffer(), mcs: a.MCS, nprb: a.NumPRB, tti: tti}
+	h.states[key] = st
+	return st.sb
+}
+
+// Processes returns the number of tracked HARQ processes.
+func (h *HARQManager) Processes() int { return len(h.states) }
+
+// StateBytes returns the total soft-buffer state size in bytes — the
+// payload a cell migration must transfer.
+func (h *HARQManager) StateBytes() int {
+	total := 0
+	for _, st := range h.states {
+		proto, err := h.prototype(st.mcs, st.nprb)
+		if err != nil {
+			continue
+		}
+		// 3 streams × (K+4) float32 per code block.
+		tbs := proto.TransportBlockSize()
+		_ = tbs
+		total += proto.NumCodeBlocks() * 3 * 4 * (softBufferK(proto) + 4)
+	}
+	return total
+}
+
+// softBufferK recovers the per-block size from a processor's segmentation.
+func softBufferK(p *phy.TransportProcessor) int {
+	seg, err := phy.Segment(p.TransportBlockSize() + 24)
+	if err != nil {
+		return 0
+	}
+	return seg.K
+}
+
+// Reset clears all HARQ state (used after a migration completes on the old
+// host, or on cell teardown).
+func (h *HARQManager) Reset() {
+	h.states = make(map[harqStateKey]*harqState)
+}
+
+// MarshalBinary serializes the full HARQ state for migration: a count
+// followed by, per process, its key (RNTI, process), configuration (MCS,
+// PRB), last TTI, and the soft buffer's LLRs. The format is
+// self-describing enough for UnmarshalBinary to rebuild buffers on the
+// destination server.
+func (h *HARQManager) MarshalBinary() ([]byte, error) {
+	// Deterministic order for testability.
+	keys := make([]harqStateKey, 0, len(h.states))
+	for k := range h.states {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rnti != keys[j].rnti {
+			return keys[i].rnti < keys[j].rnti
+		}
+		return keys[i].proc < keys[j].proc
+	})
+	dst := binary.BigEndian.AppendUint32(nil, uint32(len(keys)))
+	for _, k := range keys {
+		st := h.states[k]
+		dst = binary.BigEndian.AppendUint16(dst, uint16(k.rnti))
+		dst = append(dst, k.proc)
+		dst = append(dst, byte(st.mcs))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(st.nprb))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(st.tti))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(st.sb.MarshalledSize()))
+		dst = st.sb.MarshalAppend(dst)
+	}
+	return dst, nil
+}
+
+// UnmarshalBinary rebuilds HARQ state serialized by MarshalBinary,
+// replacing any existing state.
+func (h *HARQManager) UnmarshalBinary(src []byte) error {
+	if len(src) < 4 {
+		return fmt.Errorf("dataplane: HARQ state truncated: %w", phy.ErrTooShort)
+	}
+	n := binary.BigEndian.Uint32(src)
+	pos := 4
+	states := make(map[harqStateKey]*harqState, n)
+	for i := uint32(0); i < n; i++ {
+		const hdr = 2 + 1 + 1 + 2 + 8 + 4
+		if pos+hdr > len(src) {
+			return fmt.Errorf("dataplane: HARQ state entry %d truncated: %w", i, phy.ErrTooShort)
+		}
+		key := harqStateKey{
+			rnti: frame.RNTI(binary.BigEndian.Uint16(src[pos:])),
+			proc: src[pos+2],
+		}
+		mcs := phy.MCS(src[pos+3])
+		nprb := int(binary.BigEndian.Uint16(src[pos+4:]))
+		tti := frame.TTI(binary.BigEndian.Uint64(src[pos+6:]))
+		blobLen := int(binary.BigEndian.Uint32(src[pos+14:]))
+		pos += hdr
+		if pos+blobLen > len(src) {
+			return fmt.Errorf("dataplane: HARQ buffer %d truncated: %w", i, phy.ErrTooShort)
+		}
+		proto, err := h.prototype(mcs, nprb)
+		if err != nil {
+			return fmt.Errorf("dataplane: HARQ state entry %d: %w", i, err)
+		}
+		sb := proto.NewSoftBuffer()
+		if sb.MarshalledSize() != blobLen {
+			return fmt.Errorf("dataplane: HARQ buffer %d size %d != expected %d: %w",
+				i, blobLen, sb.MarshalledSize(), ctrlBadState)
+		}
+		if _, err := sb.Unmarshal(src[pos : pos+blobLen]); err != nil {
+			return err
+		}
+		pos += blobLen
+		states[key] = &harqState{sb: sb, mcs: mcs, nprb: nprb, tti: tti}
+	}
+	h.states = states
+	return nil
+}
+
+// ctrlBadState marks malformed migration payloads.
+var ctrlBadState = errors.New("dataplane: malformed HARQ migration state")

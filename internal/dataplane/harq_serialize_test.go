@@ -1,0 +1,169 @@
+package dataplane
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pran/internal/frame"
+	"pran/internal/phy"
+)
+
+// warmHARQ builds a manager with a few processes carrying nonzero LLRs.
+func warmHARQ(t *testing.T, seed int64) *HARQManager {
+	t.Helper()
+	h := NewHARQManager()
+	rng := rand.New(rand.NewSource(seed))
+	for p := uint8(0); p < 3; p++ {
+		a := frame.Allocation{
+			RNTI: frame.RNTI(40 + p), NumPRB: 3 + int(p), MCS: phy.MCS(8 + p*3),
+			HARQProcess: p, SNRdB: 10,
+		}
+		sb := h.Prepare(a, frame.TTI(p)*8)
+		if sb == nil {
+			t.Fatal("no buffer")
+		}
+		// Fill with recognizable values via a fake dematch: directly not
+		// possible (private), so serialize-roundtrip equality is the check;
+		// seed the buffer by running Prepare again at rv>0 (no reset) after
+		// a real decode would have accumulated. Instead, use Unmarshal with
+		// random bytes of the right size to set content.
+		raw := make([]byte, sb.MarshalledSize())
+		rng.Read(raw)
+		if _, err := sb.Unmarshal(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestHARQSerializeRoundtrip(t *testing.T) {
+	h := warmHARQ(t, 1)
+	blob, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) <= 4 {
+		t.Fatal("empty serialization")
+	}
+	// Restore into a fresh manager.
+	h2 := NewHARQManager()
+	if err := h2.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Processes() != h.Processes() {
+		t.Fatalf("process count %d != %d", h2.Processes(), h.Processes())
+	}
+	// Re-serializing must be byte-identical (deterministic order + exact
+	// float preservation).
+	blob2, err := h2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob2) != len(blob) {
+		t.Fatalf("reserialized %d bytes != %d", len(blob2), len(blob))
+	}
+	for i := range blob {
+		if blob[i] != blob2[i] {
+			t.Fatalf("serialization differs at byte %d", i)
+		}
+	}
+	if h2.StateBytes() != h.StateBytes() {
+		t.Fatal("state size accounting differs after restore")
+	}
+}
+
+func TestHARQSerializeEmpty(t *testing.T) {
+	h := NewHARQManager()
+	blob, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewHARQManager()
+	if err := h2.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Processes() != 0 {
+		t.Fatal("phantom processes after empty restore")
+	}
+}
+
+func TestHARQUnmarshalRejectsCorruption(t *testing.T) {
+	h := warmHARQ(t, 2)
+	blob, _ := h.MarshalBinary()
+	h2 := NewHARQManager()
+	if err := h2.UnmarshalBinary(blob[:3]); !errors.Is(err, phy.ErrTooShort) {
+		t.Fatalf("tiny blob: %v", err)
+	}
+	if err := h2.UnmarshalBinary(blob[:len(blob)-5]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	// Corrupt the declared buffer length of the first entry.
+	bad := append([]byte(nil), blob...)
+	bad[4+6+8] ^= 0x40 // inside the first entry's blob-length field
+	if err := h2.UnmarshalBinary(bad); err == nil {
+		t.Fatal("length-corrupted blob accepted")
+	}
+}
+
+func TestHARQMigrationPreservesDecodeState(t *testing.T) {
+	// Full functional check: a first transmission fails on server A, the
+	// HARQ state migrates, and the retransmission decodes on server B by
+	// combining with the migrated LLRs.
+	const mcs, nprb = 14, 6
+	proc, err := phy.NewTransportProcessor(mcs, nprb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	payload := make([]byte, proc.TransportBlockSize())
+	for i := range payload {
+		payload[i] = byte(rng.Intn(2))
+	}
+	snr := phy.MCS(mcs).OperatingSNR() - 2.5
+	ch := phy.NewAWGNChannel(snr, 4)
+	alloc := frame.Allocation{RNTI: 9, NumPRB: nprb, MCS: mcs, HARQProcess: 1, RV: 0, SNRdB: snr}
+
+	// Server A: first transmission into its HARQ manager.
+	hA := NewHARQManager()
+	sbA := hA.Prepare(alloc, 0)
+	syms, err := proc.Encode(payload, 9, 5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := append([]complex128(nil), syms...)
+	ch.Apply(rx)
+	_, errA := proc.Decode(rx, ch.N0(), 9, 5, 0, 0, sbA)
+
+	// Migrate A → B.
+	blob, err := hA.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB := NewHARQManager()
+	if err := hB.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server B: retransmission at rv=2 combines with migrated LLRs.
+	alloc.RV = 2
+	sbB := hB.Prepare(alloc, 8)
+	if sbB == nil {
+		t.Fatal("no buffer on destination")
+	}
+	syms2, err := proc.Encode(payload, 9, 5, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx2 := append([]complex128(nil), syms2...)
+	ch.Apply(rx2)
+	got, errB := proc.Decode(rx2, ch.N0(), 9, 5, 0, 2, sbB)
+	if errB != nil {
+		t.Fatalf("post-migration combined decode failed (first TX err=%v): %v", errA, errB)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pran/internal/metrics"
+	"pran/internal/phy"
+)
+
+// Pool scheduling policies.
+const (
+	// EDF processes the task with the earliest deadline first — PRAN's
+	// default, which maximizes schedulable utilization.
+	EDF SchedPolicy = iota
+	// FIFO processes tasks in arrival order — the baseline E5 compares
+	// against.
+	FIFO
+)
+
+// SchedPolicy selects the worker pool's queueing discipline.
+type SchedPolicy int
+
+// String implements fmt.Stringer.
+func (p SchedPolicy) String() string {
+	if p == FIFO {
+		return "fifo"
+	}
+	return "edf"
+}
+
+// Sentinel errors.
+var (
+	// ErrAbandoned marks tasks dropped unprocessed because their deadline
+	// passed while queued (the receiver will NACK; HARQ retransmits).
+	ErrAbandoned = errors.New("dataplane: task abandoned past deadline")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("dataplane: pool closed")
+)
+
+// Config parameterizes a worker pool.
+type Config struct {
+	// Workers is the number of processing goroutines (≈ dedicated cores).
+	Workers int
+	// Policy selects EDF or FIFO dispatch.
+	Policy SchedPolicy
+	// DeadlineScale stretches the HARQ budget to compensate for unoptimized
+	// DSP throughput (see the package comment). 1.0 means the real 3 ms
+	// LTE budget. Typical measured-mode experiments use the value returned
+	// by CalibrateDeadlineScale.
+	DeadlineScale float64
+	// AbandonLate, when true, drops tasks whose deadline already passed
+	// instead of decoding them anyway (PRAN behaviour: a late UL decode is
+	// useless — the NACK window has closed).
+	AbandonLate bool
+	// NaiveAlloc disables worker-local processor caching so every task
+	// allocates fresh DSP state — the GC-pressure ablation knob.
+	NaiveAlloc bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("dataplane: %d workers: %w", c.Workers, phy.ErrBadParameter)
+	}
+	if c.DeadlineScale <= 0 {
+		return fmt.Errorf("dataplane: deadline scale %v: %w", c.DeadlineScale, phy.ErrBadParameter)
+	}
+	return nil
+}
+
+// Budget returns the scaled per-task processing budget.
+func (c Config) Budget() time.Duration {
+	return time.Duration(float64(HARQBudget) * c.DeadlineScale)
+}
+
+// Stats aggregates pool-level counters. Retrieve a snapshot with
+// Pool.Stats.
+type Stats struct {
+	// Submitted, Completed, Abandoned, CRCFailures count tasks.
+	Submitted, Completed, Abandoned, CRCFailures uint64
+	// DeadlineMisses counts tasks finishing after their deadline
+	// (including abandoned ones).
+	DeadlineMisses uint64
+	// Latency summarizes enqueue-to-finish latency in seconds.
+	Latency metrics.Summary
+	// ProcTime summarizes pure processing time in seconds.
+	ProcTime metrics.Summary
+}
+
+// MissRate returns the fraction of submitted tasks that missed.
+func (s Stats) MissRate() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return float64(s.DeadlineMisses) / float64(s.Submitted)
+}
+
+// Pool is the PRAN data-plane worker pool: N workers pulling UE-decode tasks
+// from a shared deadline-ordered queue and running the real uplink DSP.
+// Create with NewPool, feed with Submit, stop with Close.
+type Pool struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    taskQueue
+	closed   bool
+	stats    Stats
+	inflight int
+
+	wg sync.WaitGroup
+}
+
+// NewPool starts the workers.
+func NewPool(cfg Config) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pool{cfg: cfg}
+	p.cond = sync.NewCond(&p.mu)
+	p.queue.fifo = cfg.Policy == FIFO
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		w := newWorker(p, i)
+		go w.run()
+	}
+	return p, nil
+}
+
+// Config returns the pool's configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Submit enqueues a task. The task's Deadline must already be set (use
+// Config.Budget from its Enqueued time); OnDone fires on a worker goroutine
+// when the task completes or is abandoned.
+func (p *Pool) Submit(t *Task) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.stats.Submitted++
+	p.queue.push(t)
+	p.mu.Unlock()
+	p.cond.Signal()
+	return nil
+}
+
+// QueueLen returns the number of tasks waiting (not yet picked up).
+func (p *Pool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queue.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Drain blocks until the queue is empty and all in-flight tasks finished.
+func (p *Pool) Drain() {
+	for {
+		p.mu.Lock()
+		idle := p.queue.Len() == 0 && p.inflight == 0
+		p.mu.Unlock()
+		if idle {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Close stops accepting tasks, waits for queued work to finish, and joins
+// the workers.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	return nil
+}
+
+// next blocks for the next task or returns nil when the pool is closed and
+// drained.
+func (p *Pool) next() *Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.queue.Len() > 0 {
+			t := p.queue.pop()
+			p.inflight++
+			return t
+		}
+		if p.closed {
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// finish records completion accounting for a task.
+func (p *Pool) finish(t *Task) {
+	p.mu.Lock()
+	p.inflight--
+	switch {
+	case errors.Is(t.Err, ErrAbandoned):
+		p.stats.Abandoned++
+	case errors.Is(t.Err, phy.ErrCRC):
+		p.stats.CRCFailures++
+		p.stats.Completed++
+	case t.Err == nil:
+		p.stats.Completed++
+	default:
+		p.stats.Completed++
+	}
+	if t.Missed() {
+		p.stats.DeadlineMisses++
+	}
+	p.stats.Latency.Observe(t.Latency().Seconds())
+	if !t.Started.IsZero() {
+		p.stats.ProcTime.Observe(t.Finished.Sub(t.Started).Seconds())
+	}
+	p.mu.Unlock()
+	if t.OnDone != nil {
+		t.OnDone(t)
+	}
+}

@@ -1,0 +1,87 @@
+package dataplane
+
+import (
+	"time"
+
+	"pran/internal/phy"
+)
+
+// worker owns per-configuration DSP state so the steady-state decode path
+// never allocates. One worker maps to one dedicated core in the PRAN model.
+type worker struct {
+	pool *Pool
+	id   int
+	// procs caches transport processors keyed by (MCS, NumPRB); nil when
+	// the pool runs in NaiveAlloc mode.
+	procs map[procKey]*phy.TransportProcessor
+}
+
+type procKey struct {
+	mcs  phy.MCS
+	nprb int
+}
+
+func newWorker(p *Pool, id int) *worker {
+	w := &worker{pool: p, id: id}
+	if !p.cfg.NaiveAlloc {
+		w.procs = make(map[procKey]*phy.TransportProcessor)
+	}
+	return w
+}
+
+// processor returns a transport processor for the configuration, cached per
+// worker unless the GC-pressure ablation is on.
+func (w *worker) processor(mcs phy.MCS, nprb int) (*phy.TransportProcessor, error) {
+	if w.procs == nil {
+		return phy.NewTransportProcessor(mcs, nprb)
+	}
+	key := procKey{mcs, nprb}
+	if p, ok := w.procs[key]; ok {
+		return p, nil
+	}
+	p, err := phy.NewTransportProcessor(mcs, nprb)
+	if err != nil {
+		return nil, err
+	}
+	w.procs[key] = p
+	return p, nil
+}
+
+func (w *worker) run() {
+	defer w.pool.wg.Done()
+	for {
+		t := w.pool.next()
+		if t == nil {
+			return
+		}
+		w.execute(t)
+		w.pool.finish(t)
+	}
+}
+
+// execute runs the uplink decode for one task.
+func (w *worker) execute(t *Task) {
+	now := time.Now()
+	if w.pool.cfg.AbandonLate && now.After(t.Deadline) {
+		t.Err = ErrAbandoned
+		t.Finished = now
+		return
+	}
+	t.Started = now
+	if t.runInstead != nil {
+		t.runInstead(w, t)
+		t.Finished = time.Now()
+		return
+	}
+	proc, err := w.processor(t.Alloc.MCS, t.Alloc.NumPRB)
+	if err != nil {
+		t.Err = err
+		t.Finished = time.Now()
+		return
+	}
+	payload, err := proc.Decode(t.REs, t.N0, uint16(t.Alloc.RNTI), t.PCI, t.TTI.Subframe(), int(t.Alloc.RV), t.Soft)
+	t.Payload = payload
+	t.Err = err
+	t.TurboIterations = proc.Timings.TurboIterations
+	t.Finished = time.Now()
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pran/internal/cluster"
+	"pran/internal/controller"
+	"pran/internal/frame"
+)
+
+// surgeDemand builds a per-bin, per-cell demand schedule: a steady base
+// load, then a surge that ramps to 2.5× over rampBins and holds. This is
+// the flash-crowd scenario the elastic-scaling figure uses.
+func surgeDemand(nCells, bins, surgeStart, rampBins int, base float64) [][]float64 {
+	out := make([][]float64, bins)
+	for b := 0; b < bins; b++ {
+		factor := 1.0
+		switch {
+		case b >= surgeStart+rampBins:
+			factor = 2.5
+		case b >= surgeStart:
+			factor = 1 + 1.5*float64(b-surgeStart)/float64(rampBins)
+		}
+		row := make([]float64, nCells)
+		for c := range row {
+			row[c] = base * factor
+		}
+		out[b] = row
+	}
+	return out
+}
+
+// scalingRun drives a controller over the demand schedule and returns the
+// per-bin unserved-demand fractions. bootBins delays a promoted server's
+// usable capacity (VM/container start + cell state load).
+func scalingRun(mode controller.Mode, demand [][]float64, serversTotal, coresPer, bootBins int) ([]float64, int, error) {
+	cl, err := cluster.Uniform(serversTotal, 1, coresPer, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := controller.DefaultConfig()
+	cfg.Mode = mode
+	ctl, err := controller.New(cfg, cl)
+	if err != nil {
+		return nil, 0, err
+	}
+	unserved := make([]float64, len(demand))
+	activeHistory := make([]int, 0, len(demand))
+	promotions := 0
+	for b, row := range demand {
+		total := 0.0
+		for c, d := range row {
+			ctl.ObserveCell(frame.CellID(c), d)
+			total += d
+		}
+		rep, err := ctl.Step()
+		if err != nil {
+			return nil, 0, err
+		}
+		promotions += rep.Promotions
+		activeHistory = append(activeHistory, rep.Active)
+		// A server promoted this bin only serves after bootBins: usable
+		// capacity is the minimum active count over the boot window.
+		usable := rep.Active
+		for k := b - bootBins + 1; k <= b; k++ {
+			if k >= 0 && activeHistory[k] < usable {
+				usable = activeHistory[k]
+			}
+		}
+		capacity := float64(usable * coresPer)
+		if total > capacity && total > 0 {
+			unserved[b] = (total - capacity) / total
+		}
+	}
+	return unserved, promotions, nil
+}
+
+// E6Scaling reconstructs the elastic-scaling figure: a load surge hits the
+// pool and we track unserved demand under reactive vs predictive scaling.
+// Expected shape: both recover, but predictive provisions ahead of the ramp
+// and accumulates several times less unserved demand.
+func E6Scaling(quick bool) (Result, error) {
+	nCells := 40
+	bins := 120
+	surgeStart := 40
+	rampBins := 12
+	if quick {
+		nCells, bins, surgeStart, rampBins = 20, 60, 20, 8
+	}
+	const (
+		coresPer = 8
+		bootBins = 3
+		base     = 0.35 // cores per cell at baseline
+	)
+	demand := surgeDemand(nCells, bins, surgeStart, rampBins, base)
+	res := Result{
+		ID:      "E6",
+		Title:   "Elastic scaling under a 2.5x load surge: reactive vs predictive",
+		Header:  []string{"mode", "surge-bins-starved", "max-unserved", "total-unserved(bin·frac)", "promotions"},
+		Metrics: map[string]float64{},
+	}
+	for _, mode := range []controller.Mode{controller.Reactive, controller.Predictive} {
+		unserved, promotions, err := scalingRun(mode, demand, 32, coresPer, bootBins)
+		if err != nil {
+			return res, err
+		}
+		starved, maxU, total := 0, 0.0, 0.0
+		for _, u := range unserved {
+			if u > 0 {
+				starved++
+			}
+			if u > maxU {
+				maxU = u
+			}
+			total += u
+		}
+		res.Rows = append(res.Rows, []string{
+			mode.String(),
+			fmt.Sprintf("%d", starved),
+			f(maxU),
+			f(total),
+			fmt.Sprintf("%d", promotions),
+		})
+		res.Metrics[mode.String()+"_total_unserved"] = total
+		res.Metrics[mode.String()+"_starved_bins"] = float64(starved)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d cells, %d bins, surge at bin %d ramping over %d bins; promoted servers usable after %d bins (boot delay)", nCells, bins, surgeStart, rampBins, bootBins))
+	return res, nil
+}

@@ -1,0 +1,82 @@
+// Package experiments regenerates PRAN's evaluation: one function per
+// reconstructed table/figure (E1–E10, indexed in DESIGN.md §4). Each returns
+// a Result whose rows cmd/pran-bench prints and whose headline numbers the
+// root bench_test.go reports as benchmark metrics. The quick flag trades
+// sweep breadth for runtime so `go test -bench` stays fast; the full sweeps
+// run via cmd/pran-bench.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pran/internal/metrics"
+)
+
+// Result is one experiment's regenerated table.
+type Result struct {
+	// ID is the experiment identifier (E1..E10).
+	ID string
+	// Title describes the paper artifact the experiment reconstructs.
+	Title string
+	// Header and Rows form the printable table.
+	Header []string
+	Rows   [][]string
+	// Metrics exposes headline scalars for benchmark reporting
+	// (name → value).
+	Metrics map[string]float64
+	// Notes carry caveats (substitutions, scale factors).
+	Notes []string
+}
+
+// String renders the result as a titled table.
+func (r Result) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	s += metrics.Table(r.Header, r.Rows)
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// ms formats seconds as milliseconds.
+func ms(sec float64) string { return fmt.Sprintf("%.3f", sec*1e3) }
+
+// All runs every experiment in order.
+func All(quick bool) ([]Result, error) {
+	runs := []func(bool) (Result, error){
+		E1SubframeVsMCS,
+		E2StageBreakdown,
+		E3TraceDiversity,
+		E4PoolingGain,
+		E5DeadlineMiss,
+		E6Scaling,
+		func(bool) (Result, error) { return E7Fronthaul() },
+		E8Failover,
+		E9Controller,
+		E10HeadroomAblation,
+	}
+	var out []Result
+	for _, fn := range runs {
+		r, err := fn(quick)
+		if err != nil {
+			return out, fmt.Errorf("%s failed: %w", r.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

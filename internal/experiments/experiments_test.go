@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// These tests run every experiment in quick mode and assert the *shapes*
+// PRAN reports — who wins, by roughly what factor, where the knees fall.
+// They are the reproduction's acceptance criteria (EXPERIMENTS.md).
+
+func TestE1ShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured DSP experiment")
+	}
+	r, err := E1SubframeVsMCS(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost grows with PRB at fixed MCS.
+	if r.Metrics["mcs13_prb100_ms"] <= r.Metrics["mcs13_prb25_ms"] {
+		t.Fatalf("cost not increasing in PRB: %v", r.Metrics)
+	}
+	// Cost grows with MCS at fixed PRB.
+	if r.Metrics["mcs28_prb100_ms"] <= r.Metrics["mcs0_prb100_ms"] {
+		t.Fatalf("cost not increasing in MCS: %v", r.Metrics)
+	}
+	// Roughly linear in PRB: 100-PRB cost within [2x, 8x] of 25-PRB cost.
+	ratio := r.Metrics["mcs13_prb100_ms"] / r.Metrics["mcs13_prb25_ms"]
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("PRB scaling ratio %.2f outside [2, 8]", ratio)
+	}
+	if len(r.Rows) != 3 || r.String() == "" {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestE2TurboDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured DSP experiment")
+	}
+	r, err := E2StageBreakdown(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["mcs27_turbo_share"] < 0.5 {
+		t.Fatalf("turbo share at MCS 27 only %.2f", r.Metrics["mcs27_turbo_share"])
+	}
+	if r.Metrics["mcs27_turbo_share"] <= r.Metrics["mcs4_turbo_share"]-0.05 {
+		t.Fatalf("turbo share should not shrink with MCS: %v", r.Metrics)
+	}
+}
+
+func TestE3DiversityShapes(t *testing.T) {
+	r, err := E3TraceDiversity(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range []string{"office", "residential", "mixed", "transport"} {
+		if r.Metrics[cls+"_ptm"] < 1.8 {
+			t.Fatalf("%s peak-to-mean %.2f too flat", cls, r.Metrics[cls+"_ptm"])
+		}
+	}
+	// Residential must be visibly decorrelated from office.
+	if r.Metrics["residential_corr_office"] > 0.8 {
+		t.Fatalf("office/residential correlation %.2f too high for pooling", r.Metrics["residential_corr_office"])
+	}
+}
+
+func TestE4PoolingGainShapes(t *testing.T) {
+	r, err := E4PoolingGain(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline: pooling beats per-cell static provisioning clearly at
+	// 50 cells, and the gain grows with scale.
+	if r.Metrics["gain_mean_50cells"] < 1.8 {
+		t.Fatalf("mean pooling gain at 50 cells %.2f < 1.8", r.Metrics["gain_mean_50cells"])
+	}
+	if r.Metrics["gain_peak_50cells"] < 1.2 {
+		t.Fatalf("peak pooling gain at 50 cells %.2f < 1.2", r.Metrics["gain_peak_50cells"])
+	}
+	if r.Metrics["gain_peak_50cells"] < r.Metrics["gain_peak_10cells"]-0.1 {
+		t.Fatalf("gain shrank with scale: %v", r.Metrics)
+	}
+}
+
+func TestE5DeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured load experiment")
+	}
+	// This is a wall-clock experiment; when `go test ./...` runs packages
+	// in parallel, CPU contention from sibling test binaries can saturate
+	// both policies and invert the comparison. Retry a couple of times and
+	// only fail on a consistent violation.
+	var last string
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err := E5DeadlineMiss(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := r.Metrics["edf_miss_u0.60"]
+		hi := r.Metrics["edf_miss_u0.90"]
+		switch {
+		case hi < lo:
+			last = fmt.Sprintf("misses fell with utilization: %.3f → %.3f", lo, hi)
+		case lo > 0.25:
+			last = fmt.Sprintf("miss rate %.3f at 60%% utilization too high", lo)
+		case r.Metrics["edf_urgent_u0.90"] > r.Metrics["fifo_urgent_u0.90"]+0.05:
+			// EDF must protect the urgent class better than FIFO under load.
+			last = fmt.Sprintf("EDF urgent misses %.3f worse than FIFO %.3f",
+				r.Metrics["edf_urgent_u0.90"], r.Metrics["fifo_urgent_u0.90"])
+		default:
+			return // shapes hold
+		}
+		t.Logf("attempt %d: %s (likely CPU contention; retrying)", attempt+1, last)
+	}
+	t.Fatal(last)
+}
+
+func TestE6PredictiveWins(t *testing.T) {
+	r, err := E6Scaling(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := r.Metrics["predictive_total_unserved"]
+	reac := r.Metrics["reactive_total_unserved"]
+	if pred > reac {
+		t.Fatalf("predictive unserved %.3f worse than reactive %.3f", pred, reac)
+	}
+}
+
+func TestE7FronthaulShapes(t *testing.T) {
+	r, err := E7Fronthaul()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["bfp_ratio"] < 1.4 {
+		t.Fatalf("BFP ratio %.2f below 1.4", r.Metrics["bfp_ratio"])
+	}
+	if r.Metrics["bfp_evm"] > 0.01 {
+		t.Fatalf("BFP EVM %.4f above 1%%", r.Metrics["bfp_evm"])
+	}
+	// 20 MHz 2-antenna raw CPRI ≈ 2.5 Gb/s.
+	raw := r.Metrics["raw_gbps_20mhz_2ant"]
+	if raw < 2 || raw > 3 {
+		t.Fatalf("raw CPRI %.2f Gb/s implausible", raw)
+	}
+}
+
+func TestE8FailoverShapes(t *testing.T) {
+	r, err := E8Failover(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := r.Metrics["hot-standby_outage_ms"]
+	cold := r.Metrics["cold-restart_outage_ms"]
+	if hot >= 1000 {
+		t.Fatalf("hot-standby outage %v ms not sub-second", hot)
+	}
+	if cold < 10*hot {
+		t.Fatalf("cold restart %v ms not ≫ hot standby %v ms", cold, hot)
+	}
+	if r.Metrics["hot-standby_lost_subframes"] <= 0 {
+		t.Fatal("hot standby lost no subframes at all — detection delay unmodelled?")
+	}
+}
+
+func TestE9ControllerShapes(t *testing.T) {
+	r, err := E9Controller(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placement at 100 cells must fit comfortably in a 100 ms control
+	// period.
+	if r.Metrics["place_us_100cells"] > 100_000 {
+		t.Fatalf("placement %v µs exceeds control period", r.Metrics["place_us_100cells"])
+	}
+	if r.Metrics["rtt_p50_us"] > 10_000 {
+		t.Fatalf("protocol RTT p50 %v µs implausibly slow on loopback", r.Metrics["rtt_p50_us"])
+	}
+	if r.Metrics["migration_bytes"] <= 0 {
+		t.Fatal("migration payload not measured")
+	}
+}
+
+func TestE10HeadroomShapes(t *testing.T) {
+	r, err := E10HeadroomAblation(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gain declines with headroom; deficits decline with headroom.
+	if r.Metrics["gain_mean_h0"] < r.Metrics["gain_mean_h50"] {
+		t.Fatalf("gain should fall with headroom: %v", r.Metrics)
+	}
+	if r.Metrics["deficit_bins_h0"] < r.Metrics["deficit_bins_h50"] {
+		t.Fatalf("deficits should fall with headroom: %v", r.Metrics)
+	}
+	if r.Metrics["deficit_bins_h0"] == 0 {
+		t.Fatal("zero-headroom pool never starved — ablation shows nothing")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ID: "EX", Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}, Notes: []string{"n"}}
+	s := r.String()
+	if !strings.Contains(s, "EX") || !strings.Contains(s, "note: n") {
+		t.Fatalf("render: %q", s)
+	}
+}

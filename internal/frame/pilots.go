@@ -1,0 +1,52 @@
+package frame
+
+import (
+	"math"
+
+	"pran/internal/phy"
+)
+
+// Cell-specific reference signals (pilots): the two reference symbols of
+// each subframe carry a known QPSK sequence derived from the cell's PCI and
+// the TTI, spanning every subcarrier. The receiver compares what arrived
+// against this sequence to estimate the channel response before equalizing
+// the data symbols.
+
+// Pilots writes the known pilot sequence for reference symbol l of the
+// given cell and TTI into dst (one value per subcarrier). The sequence is
+// a unit-energy QPSK mapping of a Gold sequence seeded by (PCI, subframe,
+// symbol), matching 36.211's cell-specific RS structure in spirit.
+func Pilots(dst []complex128, pci uint16, tti TTI, l int) {
+	cinit := uint32(pci)<<13 | uint32(tti.Subframe())<<4 | uint32(l&0xF) | 1<<28
+	g := phy.NewGoldSequence(cinit)
+	s := 1 / math.Sqrt2
+	for i := range dst {
+		re, im := s, s
+		if g.Next() == 1 {
+			re = -s
+		}
+		if g.Next() == 1 {
+			im = -s
+		}
+		dst[i] = complex(re, im)
+	}
+}
+
+// PlacePilots fills the grid's reference symbols with the cell's pilot
+// sequence for the TTI.
+func (g *Grid) PlacePilots(pci uint16, tti TTI) {
+	for _, l := range referenceSymbols {
+		row, err := g.Symbol(l)
+		if err != nil {
+			continue
+		}
+		Pilots(row, pci, tti, l)
+	}
+}
+
+// ReferenceSymbolIndices returns the subframe's reference symbol indices.
+func ReferenceSymbolIndices() []int {
+	out := make([]int, len(referenceSymbols))
+	copy(out, referenceSymbols[:])
+	return out
+}

@@ -1,0 +1,216 @@
+package fronthaul
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pran/internal/phy"
+)
+
+func TestCPRIRateKnownValue(t *testing.T) {
+	// 20 MHz, 1 antenna, 15-bit: 30.72e6 × 2 × 15 × (16/15) × (10/8)
+	// = 1228.8e6 — exactly CPRI option 2.
+	rate := CPRIRate(phy.BW20MHz, 1, DefaultSampleBits)
+	if math.Abs(rate-1228.8e6) > 1 {
+		t.Fatalf("rate %v, want 1228.8e6", rate)
+	}
+	if CPRIOption(rate) != 2 {
+		t.Fatalf("option %d, want 2", CPRIOption(rate))
+	}
+}
+
+func TestCPRIRateScalesWithAntennas(t *testing.T) {
+	r1 := CPRIRate(phy.BW10MHz, 1, 15)
+	r4 := CPRIRate(phy.BW10MHz, 4, 15)
+	if math.Abs(r4-4*r1) > 1 {
+		t.Fatalf("4 antennas: %v, want %v", r4, 4*r1)
+	}
+}
+
+func TestCPRIOptionBounds(t *testing.T) {
+	if CPRIOption(1e6) != 1 {
+		t.Fatal("tiny rate should use option 1")
+	}
+	if CPRIOption(1e12) != 0 {
+		t.Fatal("impossible rate should return 0")
+	}
+}
+
+func TestSplitOrdering(t *testing.T) {
+	// For a loaded 20 MHz cell: RF-IQ > LowPHY > MAC bandwidth.
+	meanTput := 75e6
+	rf := SplitRFIQ.Rate(phy.BW20MHz, 2, 15, meanTput)
+	low := SplitLowPHY.Rate(phy.BW20MHz, 2, 15, meanTput)
+	mac := SplitMAC.Rate(phy.BW20MHz, 2, 15, meanTput)
+	if !(rf > low && low > mac) {
+		t.Fatalf("split ordering violated: rf=%v low=%v mac=%v", rf, low, mac)
+	}
+	// LowPHY removes the guard-band + CP overhead: ratio vs RF-IQ should be
+	// roughly usedFFT ratio (1200/2048 ≈ 0.59) before framing overheads.
+	ratio := low / rf
+	if ratio < 0.35 || ratio > 0.75 {
+		t.Fatalf("LowPHY/RF ratio %v implausible", ratio)
+	}
+}
+
+func TestSplitComputeShares(t *testing.T) {
+	if SplitRFIQ.PoolComputeShare() != 1.0 {
+		t.Fatal("RF-IQ must centralize all compute")
+	}
+	if !(SplitLowPHY.PoolComputeShare() < 1 && SplitLowPHY.PoolComputeShare() > SplitMAC.PoolComputeShare()) {
+		t.Fatal("compute share ordering wrong")
+	}
+	for _, s := range []Split{SplitRFIQ, SplitLowPHY, SplitMAC} {
+		if s.String() == "" {
+			t.Fatal("empty split name")
+		}
+	}
+	if Split(9).Rate(phy.BW10MHz, 1, 15, 0) != 0 || Split(9).PoolComputeShare() != 0 {
+		t.Fatal("unknown split should degrade to zero")
+	}
+}
+
+func TestBFPRoundtripAccuracy(t *testing.T) {
+	// 9-bit mantissa BFP on Gaussian I/Q must reconstruct with EVM < 1%.
+	c, err := NewBFPCompressor(12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := 1200
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	buf := c.Compress(nil, in)
+	if len(buf) != c.CompressedSize(n) {
+		t.Fatalf("compressed %d bytes, CompressedSize says %d", len(buf), c.CompressedSize(n))
+	}
+	out := make([]complex128, n)
+	consumed, err := c.Decompress(out, buf, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(buf) {
+		t.Fatalf("consumed %d of %d", consumed, len(buf))
+	}
+	evm, err := phy.EVM(in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evm > 0.01 {
+		t.Fatalf("EVM %v > 1%%", evm)
+	}
+}
+
+func TestBFPCompressionRatio(t *testing.T) {
+	c, _ := NewBFPCompressor(12, 9)
+	r := c.Ratio(1200, 15)
+	if r < 1.5 || r > 1.8 {
+		t.Fatalf("ratio %v outside [1.5, 1.8]", r)
+	}
+	// Narrower mantissas compress harder.
+	c6, _ := NewBFPCompressor(12, 6)
+	if c6.Ratio(1200, 15) <= r {
+		t.Fatal("6-bit mantissa should beat 9-bit ratio")
+	}
+}
+
+func TestBFPMantissaEVMTradeoff(t *testing.T) {
+	// EVM must decrease monotonically as mantissa width grows.
+	rng := rand.New(rand.NewSource(2))
+	n := 600
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	prev := math.Inf(1)
+	for _, mb := range []int{4, 6, 8, 10, 12} {
+		c, _ := NewBFPCompressor(12, mb)
+		buf := c.Compress(nil, in)
+		out := make([]complex128, n)
+		if _, err := c.Decompress(out, buf, n); err != nil {
+			t.Fatal(err)
+		}
+		evm, _ := phy.EVM(in, out)
+		if evm >= prev {
+			t.Fatalf("EVM not decreasing at %d bits: %v ≥ %v", mb, evm, prev)
+		}
+		prev = evm
+	}
+}
+
+func TestBFPQuickRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blockSize := 1 + rng.Intn(32)
+		mant := 4 + rng.Intn(12)
+		c, err := NewBFPCompressor(blockSize, mant)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(500)
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64()*100, rng.NormFloat64()*100)
+		}
+		buf := c.Compress(nil, in)
+		out := make([]complex128, n)
+		if _, err := c.Decompress(out, buf, n); err != nil {
+			return false
+		}
+		evm, err := phy.EVM(in, out)
+		if err != nil {
+			return false
+		}
+		// Quantization error bound loosens with fewer mantissa bits.
+		return evm < 2.0/float64(int(1)<<uint(mant-1))*4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFPZeroBlock(t *testing.T) {
+	c, _ := NewBFPCompressor(8, 9)
+	in := make([]complex128, 16)
+	buf := c.Compress(nil, in)
+	out := make([]complex128, 16)
+	if _, err := c.Decompress(out, buf, 16); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("zero block decoded nonzero at %d: %v", i, v)
+		}
+	}
+}
+
+func TestBFPCorruptInput(t *testing.T) {
+	c, _ := NewBFPCompressor(8, 9)
+	out := make([]complex128, 16)
+	if _, err := c.Decompress(out, nil, 16); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty input: %v", err)
+	}
+	if _, err := c.Decompress(out, []byte{1, 2}, 16); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated input: %v", err)
+	}
+	if _, err := c.Decompress(make([]complex128, 2), []byte{0}, 16); err == nil {
+		t.Fatal("small dst accepted")
+	}
+}
+
+func TestBFPConstructorValidation(t *testing.T) {
+	if _, err := NewBFPCompressor(0, 9); err == nil {
+		t.Fatal("block 0 accepted")
+	}
+	if _, err := NewBFPCompressor(8, 1); err == nil {
+		t.Fatal("1-bit mantissa accepted")
+	}
+	if _, err := NewBFPCompressor(8, 17); err == nil {
+		t.Fatal("17-bit mantissa accepted")
+	}
+}

@@ -1,0 +1,374 @@
+// Package metrics provides the measurement primitives used across the PRAN
+// reproduction: streaming summaries, log-scale latency histograms with
+// percentile queries, Jain's fairness index, and simple time series used by
+// the controller's load monitor and by the benchmark harness.
+//
+// All types are safe for single-goroutine use; the data plane keeps one
+// instance per worker and merges at collection points, which avoids locks on
+// the hot path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram is a log-scale histogram tuned for latency-like, non-negative
+// measurements spanning several orders of magnitude (nanoseconds to seconds).
+//
+// The zero value is ready to use with the default range [1µs, 16s] at 64
+// buckets per octave-group; use NewHistogram to choose a different range.
+type Histogram struct {
+	min, max float64 // value range covered by the buckets
+	buckets  []uint64
+	count    uint64
+	sum      float64
+	sumSq    float64
+	low      uint64 // observations below min
+	high     uint64 // observations above max
+	vMin     float64
+	vMax     float64
+	scale    float64 // precomputed: buckets / log(max/min)
+}
+
+const defaultHistBuckets = 512
+
+// NewHistogram returns a histogram covering [min, max] with n log-spaced
+// buckets. It panics if the range or bucket count is invalid, since that is
+// a programming error, not a runtime condition.
+func NewHistogram(min, max float64, n int) *Histogram {
+	if !(min > 0) || !(max > min) || n <= 0 {
+		panic(fmt.Sprintf("metrics: invalid histogram spec min=%v max=%v n=%d", min, max, n))
+	}
+	h := &Histogram{min: min, max: max, buckets: make([]uint64, n)}
+	h.scale = float64(n) / math.Log(max/min)
+	h.vMin = math.Inf(1)
+	h.vMax = math.Inf(-1)
+	return h
+}
+
+func (h *Histogram) lazyInit() {
+	if h.buckets == nil {
+		*h = *NewHistogram(1e-6, 16, defaultHistBuckets)
+	}
+}
+
+// Observe records one measurement.
+func (h *Histogram) Observe(v float64) {
+	h.lazyInit()
+	h.count++
+	h.sum += v
+	h.sumSq += v * v
+	if v < h.vMin {
+		h.vMin = v
+	}
+	if v > h.vMax {
+		h.vMax = v
+	}
+	switch {
+	case v < h.min:
+		h.low++
+	case v >= h.max:
+		h.high++
+	default:
+		i := int(math.Log(v/h.min) * h.scale)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// ObserveDuration records a time.Duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of all observations, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Stddev returns the population standard deviation, or 0 if empty.
+func (h *Histogram) Stddev() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sumSq/float64(h.count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.vMin
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.vMax
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) using the
+// bucket upper edges; exact observations below/above the covered range clamp
+// to the range boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.lazyInit()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := q * float64(h.count)
+	acc := float64(h.low)
+	if acc >= target {
+		return h.min
+	}
+	for i, c := range h.buckets {
+		acc += float64(c)
+		if acc >= target {
+			// Upper edge of bucket i.
+			return h.min * math.Exp(float64(i+1)/h.scale)
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds all observations recorded by other into h. The two histograms
+// must have identical bucket layouts (use the same constructor arguments).
+func (h *Histogram) Merge(other *Histogram) error {
+	h.lazyInit()
+	other.lazyInit()
+	if len(h.buckets) != len(other.buckets) || h.min != other.min || h.max != other.max {
+		return fmt.Errorf("metrics: cannot merge histograms with different layouts")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.sumSq += other.sumSq
+	h.low += other.low
+	h.high += other.high
+	if other.count > 0 {
+		if other.vMin < h.vMin {
+			h.vMin = other.vMin
+		}
+		if other.vMax > h.vMax {
+			h.vMax = other.vMax
+		}
+	}
+	return nil
+}
+
+// Reset clears all recorded observations while keeping the bucket layout.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.low, h.high = 0, 0, 0
+	h.sum, h.sumSq = 0, 0
+	h.vMin = math.Inf(1)
+	h.vMax = math.Inf(-1)
+}
+
+// String renders a one-line summary suited for bench harness output.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// Summary accumulates streaming mean/variance using Welford's algorithm and
+// retains extrema. It is cheaper than a Histogram when quantiles are not
+// needed.
+type Summary struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe records one measurement.
+func (s *Summary) Observe(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 { return s.n }
+
+// Mean returns the running mean, or 0 if empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance (n-1 denominator), or 0 for n < 2.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// under a normal approximation, or 0 for n < 2.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev() / math.Sqrt(float64(s.n))
+}
+
+// Merge folds another summary into s (parallel-merge formula).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	mean := s.mean + d*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// String renders a one-line summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g ±%.2g min=%.6g max=%.6g", s.n, s.mean, s.CI95(), s.min, s.max)
+}
+
+// JainIndex computes Jain's fairness index over per-entity allocations:
+// (Σx)² / (n·Σx²). Returns 1 for an empty or all-zero input by convention
+// (nothing is unfairly shared).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Percentile returns the p-th percentile (0–100) of xs by sorting a copy and
+// interpolating linearly. It is intended for offline analysis, not hot paths.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	pos := p / 100 * float64(len(c)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[i]*(1-frac) + c[i+1]*frac
+}
+
+// Table formats aligned benchmark-style rows: header then rows, columns
+// separated by at least two spaces. Used by cmd/pran-bench to print the
+// per-experiment tables recorded in EXPERIMENTS.md.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, hcell := range header {
+		width[i] = len(hcell)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				for p := len(cell); p < width[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

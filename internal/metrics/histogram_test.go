@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1e-6, 10, 256)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if math.Abs(h.Mean()-0.0505) > 1e-9 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if h.Min() != 1e-3 || h.Max() != 0.1 {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+	med := h.Quantile(0.5)
+	if med < 0.04 || med > 0.06 {
+		t.Fatalf("median %v outside [0.04, 0.06]", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.09 || p99 > 0.11 {
+		t.Fatalf("p99 %v", p99)
+	}
+}
+
+func TestHistogramZeroValueUsable(t *testing.T) {
+	var h Histogram
+	h.Observe(0.001)
+	h.ObserveDuration(2 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Quantile(0.5) <= 0 {
+		t.Fatal("quantile on zero-value histogram broken")
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Observe(0.5)
+	if h.Quantile(0) != 0.5 || h.Quantile(1) != 0.5 {
+		t.Fatal("single-observation quantile edges wrong")
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(1e-3, 1, 64)
+	h.Observe(1e-6) // below
+	h.Observe(100)  // above
+	if h.Count() != 2 {
+		t.Fatal("out-of-range observations must still count")
+	}
+	if h.Max() != 100 || h.Min() != 1e-6 {
+		t.Fatal("extrema must track out-of-range values")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1e-6, 10, 128)
+	b := NewHistogram(1e-6, 10, 128)
+	for i := 0; i < 500; i++ {
+		a.Observe(0.001)
+		b.Observe(0.1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 1000 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	med := a.Quantile(0.5)
+	if med < 0.0009 || med > 0.12 {
+		t.Fatalf("merged median %v", med)
+	}
+	c := NewHistogram(1e-5, 10, 128)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("layout mismatch accepted")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(1e-6, 10, 64)
+	h.Observe(0.5)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec did not panic")
+		}
+	}()
+	NewHistogram(-1, 10, 64)
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Log-uniform samples: quantile estimates must land within a bucket
+	// width of the true quantiles.
+	rng := rand.New(rand.NewSource(5))
+	h := NewHistogram(1e-6, 16, 512)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.Float64()*math.Log(1e6)) * 1e-6 // [1e-6, 1]
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		est := h.Quantile(q)
+		true_ := Percentile(xs, q*100)
+		ratio := est / true_
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("q=%v: est %v vs true %v", q, est, true_)
+		}
+	}
+}
+
+func TestSummaryWelford(t *testing.T) {
+	var s Summary
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	if s.Count() != 8 || s.Mean() != 5 {
+		t.Fatalf("mean %v count %d", s.Mean(), s.Count())
+	}
+	// Sample variance of the classic dataset is 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatal("extrema wrong")
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI must be positive for n ≥ 2")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var all, a, b Summary
+		for i := 0; i < 200; i++ {
+			v := rng.NormFloat64()*3 + 10
+			all.Observe(v)
+			if i%2 == 0 {
+				a.Observe(v)
+			} else {
+				b.Observe(v)
+			}
+		}
+		a.Merge(&b)
+		return a.Count() == all.Count() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Observe(1)
+	a.Merge(&b) // no-op
+	if a.Count() != 1 {
+		t.Fatal("merging empty changed count")
+	}
+	b.Merge(&a)
+	if b.Count() != 1 || b.Mean() != 1 {
+		t.Fatal("merging into empty broken")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 1 {
+		t.Fatal("empty should be 1")
+	}
+	if JainIndex([]float64{0, 0}) != 1 {
+		t.Fatal("all-zero should be 1")
+	}
+	if v := JainIndex([]float64{1, 1, 1, 1}); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("equal allocation: %v", v)
+	}
+	// One user hogging everything among n: index = 1/n.
+	if v := JainIndex([]float64{1, 0, 0, 0}); math.Abs(v-0.25) > 1e-12 {
+		t.Fatalf("max unfairness: %v", v)
+	}
+	mid := JainIndex([]float64{1, 2, 3})
+	if mid <= 0.25 || mid >= 1 {
+		t.Fatalf("intermediate fairness %v out of range", mid)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("edge percentiles wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("median %v", Percentile(xs, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Must not modify input.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+	// Interpolation: p25 of [1..5] = 2.
+	if v := Percentile(xs, 25); v != 2 {
+		t.Fatalf("p25 = %v", v)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"1", "2"}, {"333333", "4"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "long-header") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("header/separator malformed: %q %q", lines[0], lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "333333") {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(0.001)
+	if !strings.Contains(h.String(), "n=1") {
+		t.Fatalf("String: %q", h.String())
+	}
+	var s Summary
+	s.Observe(2)
+	if !strings.Contains(s.String(), "n=1") {
+		t.Fatalf("String: %q", s.String())
+	}
+}

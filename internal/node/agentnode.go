@@ -1,0 +1,346 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pran/internal/cluster"
+	"pran/internal/ctrlproto"
+	"pran/internal/dataplane"
+	"pran/internal/frame"
+	"pran/internal/phy"
+	"pran/internal/traffic"
+)
+
+// AgentConfig parameterizes an agent node.
+type AgentConfig struct {
+	// ControllerAddr is the controller's TCP endpoint.
+	ControllerAddr string
+	// ServerID is this server's stable pool identity.
+	ServerID uint32
+	// Cores is the worker count advertised and run.
+	Cores int
+	// SpeedMilli is the advertised speed factor ×1000.
+	SpeedMilli uint32
+	// Pool configures the local data plane (Workers is overridden by
+	// Cores).
+	Pool dataplane.Config
+	// TTIInterval is the real-time pacing of subframes; it defaults to the
+	// scaled subframe duration (DeadlineScale × 1 ms) so load ratios match
+	// the deadline scale.
+	TTIInterval time.Duration
+	// Seed drives the agent's local traffic emulation.
+	Seed int64
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// cellRuntime is one assigned cell's emulation and ingest state.
+type cellRuntime struct {
+	cfg  frame.CellConfig
+	rrh  *dataplane.RRHEmulator
+	proc *dataplane.CellProcessor
+	gen  *traffic.Generator
+	// demand is the EWMA compute demand reported to the controller.
+	demand float64
+}
+
+// AgentNode is one pool server: it registers with the controller, runs the
+// measured data plane for whatever cells it is assigned (emulating their
+// RRH input locally), and streams heartbeats plus per-cell load reports.
+type AgentNode struct {
+	cfg    AgentConfig
+	client *ctrlproto.Client
+	pool   *dataplane.Pool
+	model  cluster.CostModel
+	logf   func(format string, args ...any)
+
+	mu           sync.Mutex
+	cells        map[frame.CellID]*cellRuntime
+	pendingState map[frame.CellID][]byte // migrated state arriving pre-assignment
+	tti          frame.TTI
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewAgentNode dials the controller and registers. Call Run to start the
+// TTI and reporting loops.
+func NewAgentNode(cfg AgentConfig) (*AgentNode, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("node: agent needs ≥ 1 core: %w", phy.ErrBadParameter)
+	}
+	if cfg.SpeedMilli == 0 {
+		cfg.SpeedMilli = 1000
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cfg.Pool.Workers = cfg.Cores
+	if cfg.Pool.DeadlineScale <= 0 {
+		cfg.Pool.DeadlineScale = 1
+	}
+	if cfg.TTIInterval <= 0 {
+		cfg.TTIInterval = time.Duration(float64(time.Millisecond) * cfg.Pool.DeadlineScale)
+	}
+	client, err := ctrlproto.DialAgent(cfg.ControllerAddr, cfg.ServerID, uint16(cfg.Cores), cfg.SpeedMilli)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := dataplane.NewPool(cfg.Pool)
+	if err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	return &AgentNode{
+		cfg:    cfg,
+		client: client,
+		pool:   pool,
+		model:  cluster.DefaultCostModel(),
+		logf:   cfg.Logf,
+		cells:  make(map[frame.CellID]*cellRuntime),
+		stopCh: make(chan struct{}),
+	}, nil
+}
+
+// Pool exposes the local data plane.
+func (a *AgentNode) Pool() *dataplane.Pool { return a.pool }
+
+// NumCells returns how many cells the agent currently runs.
+func (a *AgentNode) NumCells() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.cells)
+}
+
+// Run starts the command, TTI, and reporting loops; it returns when the
+// controller connection ends or Close is called.
+func (a *AgentNode) Run() error {
+	a.wg.Add(2)
+	go a.ttiLoop()
+	go a.reportLoop()
+	err := a.commandLoop()
+	close(a.stopCh)
+	a.wg.Wait()
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// Close tears the agent down.
+func (a *AgentNode) Close() error {
+	_ = a.client.Close()
+	return a.pool.Close()
+}
+
+// commandLoop processes controller commands until the connection drops.
+func (a *AgentNode) commandLoop() error {
+	for {
+		m, err := a.client.Receive()
+		if err != nil {
+			return err
+		}
+		switch t := m.(type) {
+		case *ctrlproto.AssignCell:
+			if err := a.assignCell(t); err != nil {
+				a.logf("agent %d: assign cell %d: %v", a.cfg.ServerID, t.Cell, err)
+				_ = a.client.SendError(t.Seq, 1, err.Error())
+				continue
+			}
+			a.logf("agent %d: assigned cell %d", a.cfg.ServerID, t.Cell)
+			_ = a.client.Ack(t.Seq)
+		case *ctrlproto.RemoveCell:
+			// Ship the cell's HARQ state to the controller before
+			// releasing it, so the destination server can resume
+			// in-flight retransmissions (PRAN's migration path).
+			if state := a.snapshotCellState(frame.CellID(t.Cell)); state != nil {
+				_ = a.client.SendMigrateState(t.Cell, state)
+			}
+			a.removeCell(frame.CellID(t.Cell))
+			a.logf("agent %d: removed cell %d", a.cfg.ServerID, t.Cell)
+			_ = a.client.Ack(t.Seq)
+		case *ctrlproto.MigrateState:
+			if err := a.restoreCellState(frame.CellID(t.Cell), t.State); err != nil {
+				a.logf("agent %d: restore cell %d state: %v", a.cfg.ServerID, t.Cell, err)
+				_ = a.client.SendError(t.Seq, 2, err.Error())
+				continue
+			}
+			a.logf("agent %d: restored %d bytes of cell %d state", a.cfg.ServerID, len(t.State), t.Cell)
+			_ = a.client.Ack(t.Seq)
+		case *ctrlproto.Drain:
+			_ = a.client.Ack(t.Seq)
+		case *ctrlproto.Promote:
+			_ = a.client.Ack(t.Seq)
+		}
+	}
+}
+
+// assignCell builds the cell's runtime (RRH emulator + ingest + traffic).
+func (a *AgentNode) assignCell(cmd *ctrlproto.AssignCell) error {
+	cellCfg := frame.CellConfig{
+		ID:        frame.CellID(cmd.Cell),
+		PCI:       cmd.PCI,
+		Bandwidth: phy.Bandwidth(cmd.PRB),
+		Antennas:  int(cmd.Antennas),
+	}
+	if err := cellCfg.Validate(); err != nil {
+		return err
+	}
+	rrh, err := dataplane.NewRRHEmulator(cellCfg, a.cfg.Seed+int64(cmd.Cell)*997)
+	if err != nil {
+		return err
+	}
+	proc, err := dataplane.NewCellProcessor(cellCfg, a.pool)
+	if err != nil {
+		return err
+	}
+	classes := traffic.StandardMix(int(cmd.Cell) + 1)
+	gen, err := traffic.NewGenerator(cellCfg.Bandwidth,
+		[]traffic.CellProfile{traffic.DefaultProfile(classes[cmd.Cell])},
+		a.cfg.Seed+int64(cmd.Cell), 12)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.cells[cellCfg.ID] = &cellRuntime{cfg: cellCfg, rrh: rrh, proc: proc, gen: gen}
+	if state, ok := a.pendingState[cellCfg.ID]; ok {
+		delete(a.pendingState, cellCfg.ID)
+		if err := proc.HARQ().UnmarshalBinary(state); err != nil {
+			a.logf("agent %d: apply parked state for cell %d: %v", a.cfg.ServerID, cellCfg.ID, err)
+		}
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *AgentNode) removeCell(id frame.CellID) {
+	a.mu.Lock()
+	delete(a.cells, id)
+	a.mu.Unlock()
+}
+
+// snapshotCellState serializes a cell's HARQ state, or nil when the cell is
+// unknown or has no state worth shipping.
+func (a *AgentNode) snapshotCellState(id frame.CellID) []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rt, ok := a.cells[id]
+	if !ok || rt.proc.HARQ().Processes() == 0 {
+		return nil
+	}
+	state, err := rt.proc.HARQ().MarshalBinary()
+	if err != nil {
+		return nil
+	}
+	return state
+}
+
+// restoreCellState loads migrated HARQ state into an assigned cell. State
+// arriving before the AssignCell command is parked and applied on
+// assignment.
+func (a *AgentNode) restoreCellState(id frame.CellID, state []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rt, ok := a.cells[id]
+	if !ok {
+		if a.pendingState == nil {
+			a.pendingState = make(map[frame.CellID][]byte)
+		}
+		a.pendingState[id] = append([]byte(nil), state...)
+		return nil
+	}
+	return rt.proc.HARQ().UnmarshalBinary(state)
+}
+
+// ttiLoop paces subframes: each tick, every assigned cell generates its
+// schedule, emits the uplink signal, and ingests it into the shared pool.
+func (a *AgentNode) ttiLoop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(a.cfg.TTIInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stopCh:
+			return
+		case <-ticker.C:
+		}
+		a.mu.Lock()
+		tti := a.tti
+		a.tti++
+		for _, rt := range a.cells {
+			work, err := rt.gen.Subframe(0, tti)
+			if err != nil {
+				continue
+			}
+			work.Cell = rt.cfg.ID
+			payloads, err := rt.rrh.RandomPayloads(work)
+			if err != nil {
+				continue
+			}
+			samples, err := rt.rrh.Emit(work, payloads)
+			if err != nil {
+				continue
+			}
+			if err := rt.proc.IngestSubframe(samples, work, nil); err != nil {
+				continue
+			}
+			cost := a.model.SubframeCost(work, rt.cfg.Bandwidth, rt.cfg.Antennas)
+			d := cluster.CoreFraction(cost)
+			rt.demand += 0.2 * (d - rt.demand)
+		}
+		a.mu.Unlock()
+	}
+}
+
+// reportLoop streams heartbeats and per-cell loads at the controller's
+// requested interval.
+func (a *AgentNode) reportLoop() {
+	defer a.wg.Done()
+	interval := a.client.Interval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stopCh:
+			return
+		case <-ticker.C:
+		}
+		st := a.pool.Stats()
+		a.mu.Lock()
+		tti := uint64(a.tti)
+		used := 0.0
+		type rep struct {
+			cell frame.CellID
+			d    float64
+		}
+		var reps []rep
+		for id, rt := range a.cells {
+			used += rt.demand
+			reps = append(reps, rep{id, rt.demand})
+		}
+		a.mu.Unlock()
+		hb := &ctrlproto.Heartbeat{
+			TTI:            tti,
+			UsedMilliCores: uint32(used * 1000),
+			QueueLen:       uint32(a.pool.QueueLen()),
+			Misses:         st.DeadlineMisses,
+			Completed:      st.Completed,
+		}
+		if err := a.client.Heartbeat(hb); err != nil {
+			return
+		}
+		for _, r := range reps {
+			if err := a.client.SendCellLoad(uint16(r.cell), uint32(r.d*1000), tti); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package node implements PRAN's deployable daemons: the controller node
+// (the logically centralized control plane behind a TCP endpoint) and the
+// agent node (a pool server running the measured data plane). Together they
+// turn the in-process library into the distributed system the paper
+// sketches: agents register and stream per-cell load, the controller scales
+// and places, and cell assignments flow back as protocol commands.
+//
+// cmd/pran-controller and cmd/pran-agent are thin wrappers around this
+// package so the whole distributed path stays unit-testable over loopback.
+package node
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pran/internal/cluster"
+	"pran/internal/controller"
+	"pran/internal/ctrlproto"
+	"pran/internal/frame"
+	"pran/internal/phy"
+)
+
+// CellSpecNet describes a cell the controller is responsible for assigning.
+type CellSpecNet struct {
+	// ID is the PRAN cell identifier; PCI its physical identity.
+	ID  frame.CellID
+	PCI uint16
+	// Bandwidth and Antennas describe the cell's radio configuration.
+	Bandwidth phy.Bandwidth
+	Antennas  int
+}
+
+// ControllerNode is the networked control plane: a ctrlproto server whose
+// registered agents form the controller's cluster, plus a periodic control
+// loop that scales, places, and pushes cell assignments.
+type ControllerNode struct {
+	srv    *ctrlproto.Server
+	ctl    *controller.Controller
+	cells  map[frame.CellID]CellSpecNet
+	logf   func(format string, args ...any)
+	period time.Duration
+
+	mu      sync.Mutex
+	applied controller.Placement // what agents have been told
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	started bool
+}
+
+// ControllerConfig parameterizes a controller node.
+type ControllerConfig struct {
+	// Controller is the control-plane configuration.
+	Controller controller.Config
+	// Cells lists the cells to manage.
+	Cells []CellSpecNet
+	// Period is the control-loop cadence (default 500 ms).
+	Period time.Duration
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// NewControllerNode builds a controller node listening on ln. The cluster
+// starts empty; servers join by registering over the protocol.
+func NewControllerNode(ln net.Listener, cfg ControllerConfig) (*ControllerNode, error) {
+	if len(cfg.Cells) == 0 {
+		return nil, fmt.Errorf("node: no cells to manage: %w", phy.ErrBadParameter)
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 500 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctl, err := controller.New(cfg.Controller, cluster.New())
+	if err != nil {
+		return nil, err
+	}
+	n := &ControllerNode{
+		ctl:     ctl,
+		cells:   make(map[frame.CellID]CellSpecNet, len(cfg.Cells)),
+		logf:    cfg.Logf,
+		period:  cfg.Period,
+		applied: make(controller.Placement),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	for _, c := range cfg.Cells {
+		n.cells[c.ID] = c
+	}
+	n.srv = ctrlproto.NewServer(ln, (*ctrlHandler)(n))
+	return n, nil
+}
+
+// ctrlHandler adapts protocol events onto the node (separate type so the
+// Handler methods don't pollute ControllerNode's public API).
+type ctrlHandler ControllerNode
+
+// OnRegister adds the server to the cluster as standby capacity.
+func (h *ctrlHandler) OnRegister(a *ctrlproto.Agent, reg *ctrlproto.Register) error {
+	n := (*ControllerNode)(h)
+	srv := cluster.Server{
+		ID:          cluster.ServerID(reg.ServerID),
+		Cores:       int(reg.Cores),
+		SpeedFactor: float64(reg.SpeedMilli) / 1000,
+		State:       cluster.Standby,
+	}
+	if err := n.ctl.Cluster().Add(srv); err != nil {
+		// Reconnection of a known server: reset it to standby capacity.
+		if err2 := n.ctl.Cluster().SetState(srv.ID, cluster.Standby); err2 != nil {
+			return err
+		}
+	}
+	n.logf("controller: server %d registered (%d cores)", reg.ServerID, reg.Cores)
+	return nil
+}
+
+// OnHeartbeat currently only logs liveness; per-cell load arrives via
+// CellLoad messages.
+func (h *ctrlHandler) OnHeartbeat(a *ctrlproto.Agent, hb *ctrlproto.Heartbeat) {}
+
+// OnMessage feeds cell-load reports into the controller's monitor and
+// relays migration state from a cell's old server to its new one.
+func (h *ctrlHandler) OnMessage(a *ctrlproto.Agent, m ctrlproto.Message) {
+	n := (*ControllerNode)(h)
+	switch t := m.(type) {
+	case *ctrlproto.CellLoad:
+		n.ctl.ObserveCell(frame.CellID(t.Cell), float64(t.MilliCores)/1000)
+	case *ctrlproto.MigrateState:
+		n.mu.Lock()
+		dst, ok := n.ctl.Placement()[frame.CellID(t.Cell)]
+		n.mu.Unlock()
+		if !ok {
+			return
+		}
+		if agent, up := n.srv.Agent(uint32(dst)); up && agent.ID != a.ID {
+			if _, err := agent.MigrateState(t.Cell, t.State); err != nil {
+				n.logf("controller: relay state for cell %d to %d: %v", t.Cell, dst, err)
+			} else {
+				n.logf("controller: relayed %d bytes of cell %d state %d→%d", len(t.State), t.Cell, a.ID, dst)
+			}
+		}
+	}
+}
+
+// OnDisconnect treats a vanished agent as a server failure.
+func (h *ctrlHandler) OnDisconnect(a *ctrlproto.Agent, err error) {
+	n := (*ControllerNode)(h)
+	n.logf("controller: server %d disconnected: %v", a.ID, err)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rep, ferr := n.ctl.OnServerFailure(cluster.ServerID(a.ID)); ferr == nil {
+		n.logf("controller: failover moved %d cells (%d promotions)", len(rep.LostCells), rep.Promotions)
+		n.pushPlacementLocked()
+	}
+}
+
+// Serve runs the protocol listener and the control loop until Close.
+func (n *ControllerNode) Serve() error {
+	n.mu.Lock()
+	n.started = true
+	n.mu.Unlock()
+	go n.controlLoop()
+	return n.srv.Serve()
+}
+
+// Addr returns the listen address.
+func (n *ControllerNode) Addr() net.Addr { return n.srv.Addr() }
+
+// Controller exposes the control plane for inspection.
+func (n *ControllerNode) Controller() *controller.Controller { return n.ctl }
+
+// Close stops the control loop and the server.
+func (n *ControllerNode) Close() error {
+	n.mu.Lock()
+	started := n.started
+	n.started = false
+	n.mu.Unlock()
+	if started {
+		close(n.stopCh)
+		<-n.doneCh
+	}
+	return n.srv.Close()
+}
+
+func (n *ControllerNode) controlLoop() {
+	defer close(n.doneCh)
+	ticker := time.NewTicker(n.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		rep, err := n.ctl.Step()
+		if err != nil {
+			n.logf("controller: step failed: %v", err)
+			n.mu.Unlock()
+			continue
+		}
+		if rep.Migrations > 0 || rep.Promotions > 0 || len(rep.Dropped) > 0 {
+			n.logf("controller: demand=%.2f forecast=%.2f active=%d migrations=%d dropped=%d",
+				rep.Demand, rep.Forecast, rep.Active, rep.Migrations, len(rep.Dropped))
+		}
+		n.pushPlacementLocked()
+		n.mu.Unlock()
+	}
+}
+
+// pushPlacementLocked diffs the controller's placement against what agents
+// have been told and sends remove/assign commands. Callers hold n.mu.
+func (n *ControllerNode) pushPlacementLocked() {
+	want := n.ctl.Placement()
+	// Removals first (cells that moved or vanished).
+	for cell, oldSrv := range n.applied {
+		if newSrv, ok := want[cell]; !ok || newSrv != oldSrv {
+			if agent, up := n.srv.Agent(uint32(oldSrv)); up {
+				if _, err := agent.RemoveCell(uint16(cell)); err != nil {
+					n.logf("controller: remove cell %d from %d: %v", cell, oldSrv, err)
+				}
+			}
+			delete(n.applied, cell)
+		}
+	}
+	// Additions.
+	for cell, srv := range want {
+		if cur, ok := n.applied[cell]; ok && cur == srv {
+			continue
+		}
+		spec, ok := n.cells[cell]
+		if !ok {
+			continue // load reported for a cell we don't manage
+		}
+		agent, up := n.srv.Agent(uint32(srv))
+		if !up {
+			continue
+		}
+		if _, err := agent.AssignCell(uint16(cell), spec.PCI, uint16(spec.Bandwidth.PRB()), uint8(spec.Antennas)); err != nil {
+			n.logf("controller: assign cell %d to %d: %v", cell, srv, err)
+			continue
+		}
+		n.applied[cell] = srv
+	}
+}
+
+// Applied returns a copy of the placement as pushed to agents.
+func (n *ControllerNode) Applied() controller.Placement {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.applied.Clone()
+}

@@ -1,0 +1,82 @@
+package phy
+
+// CRC generators from 3GPP TS 36.212 §5.1.1. CRC-24A protects transport
+// blocks; CRC-24B protects individual code blocks after segmentation. Both
+// operate over bit slices (one bit per byte, values 0/1), which is the
+// representation the turbo codec and rate matcher use throughout the chain.
+
+// Generator polynomials, MSB-first, implicit leading x^24 term.
+const (
+	crc24APoly uint32 = 0x864CFB // x^24+x^23+x^18+x^17+x^14+x^11+x^10+x^7+x^6+x^5+x^4+x^3+x+1
+	crc24BPoly uint32 = 0x800063 // x^24+x^23+x^6+x^5+x+1
+	crcBits           = 24
+)
+
+// crc24 computes a 24-bit CRC over bits (values 0/1) with the given
+// polynomial, MSB-first, zero initial remainder — exactly the 36.212
+// procedure.
+func crc24(bits []byte, poly uint32) uint32 {
+	var reg uint32
+	for _, b := range bits {
+		reg <<= 1
+		reg |= uint32(b & 1)
+		if reg&(1<<crcBits) != 0 {
+			reg ^= (1 << crcBits) | poly
+		}
+	}
+	// Flush 24 zero bits.
+	for i := 0; i < crcBits; i++ {
+		reg <<= 1
+		if reg&(1<<crcBits) != 0 {
+			reg ^= (1 << crcBits) | poly
+		}
+	}
+	return reg & 0xFFFFFF
+}
+
+// CRC24A returns the transport-block CRC of bits (one bit per byte).
+func CRC24A(bits []byte) uint32 { return crc24(bits, crc24APoly) }
+
+// CRC24B returns the code-block CRC of bits (one bit per byte).
+func CRC24B(bits []byte) uint32 { return crc24(bits, crc24BPoly) }
+
+// AppendCRC24A appends data followed by its 24 CRC-24A bits to dst and
+// returns the extended slice, mirroring the 36.212 attachment procedure.
+func AppendCRC24A(dst, data []byte) []byte {
+	return appendCRC(dst, data, crc24APoly)
+}
+
+// AppendCRC24B appends data followed by its CRC-24B bits to dst.
+func AppendCRC24B(dst, data []byte) []byte {
+	return appendCRC(dst, data, crc24BPoly)
+}
+
+func appendCRC(dst, data []byte, poly uint32) []byte {
+	c := crc24(data, poly)
+	dst = append(dst, data...)
+	for i := crcBits - 1; i >= 0; i-- {
+		dst = append(dst, byte((c>>uint(i))&1))
+	}
+	return dst
+}
+
+// CheckCRC24A verifies that bits ends in a valid CRC-24A over its prefix.
+// It returns the payload (bits without the trailing CRC) and reports whether
+// the check passed. Inputs shorter than the CRC itself fail.
+func CheckCRC24A(bits []byte) ([]byte, bool) { return checkCRC(bits, crc24APoly) }
+
+// CheckCRC24B verifies a trailing CRC-24B; see CheckCRC24A.
+func CheckCRC24B(bits []byte) ([]byte, bool) { return checkCRC(bits, crc24BPoly) }
+
+func checkCRC(bits []byte, poly uint32) ([]byte, bool) {
+	if len(bits) < crcBits {
+		return nil, false
+	}
+	payload := bits[:len(bits)-crcBits]
+	want := crc24(payload, poly)
+	var got uint32
+	for _, b := range bits[len(bits)-crcBits:] {
+		got = got<<1 | uint32(b&1)
+	}
+	return payload, got == want
+}

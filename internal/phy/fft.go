@@ -1,0 +1,174 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT is a planned, allocation-free radix-2 decimation-in-time FFT used for
+// OFDM (de)modulation. A plan precomputes twiddle factors and the
+// bit-reversal permutation for a fixed power-of-two size; Forward and
+// Inverse then transform in place.
+//
+// The data plane creates one plan per cell (sized by the cell bandwidth's
+// FFT size) at setup and reuses it for every symbol, so the hot path does
+// not allocate.
+type FFT struct {
+	n       int
+	twiddle []complex128 // twiddle[k] = exp(-2πik/n), k < n/2
+	rev     []int32      // bit-reversal permutation
+}
+
+// NewFFT returns a plan for size n, which must be a power of two ≥ 2.
+func NewFFT(n int) (*FFT, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("phy: FFT size %d is not a power of two ≥ 2: %w", n, ErrBadParameter)
+	}
+	f := &FFT{
+		n:       n,
+		twiddle: make([]complex128, n/2),
+		rev:     make([]int32, n),
+	}
+	for k := range f.twiddle {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		f.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range f.rev {
+		f.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	return f, nil
+}
+
+// Size returns the transform length.
+func (f *FFT) Size() int { return f.n }
+
+// Forward computes the in-place forward DFT of x (len must equal Size).
+func (f *FFT) Forward(x []complex128) error {
+	if len(x) != f.n {
+		return fmt.Errorf("phy: FFT input length %d != plan size %d: %w", len(x), f.n, ErrBadParameter)
+	}
+	f.transform(x, false)
+	return nil
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/n scaling,
+// so Inverse(Forward(x)) == x up to rounding.
+func (f *FFT) Inverse(x []complex128) error {
+	if len(x) != f.n {
+		return fmt.Errorf("phy: FFT input length %d != plan size %d: %w", len(x), f.n, ErrBadParameter)
+	}
+	f.transform(x, true)
+	inv := complex(1/float64(f.n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+	return nil
+}
+
+func (f *FFT) transform(x []complex128, inverse bool) {
+	n := f.n
+	// Bit-reversal permutation.
+	for i, r := range f.rev {
+		if int32(i) < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := f.twiddle[tw]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				t := w * x[k+half]
+				x[k+half] = x[k] - t
+				x[k] = x[k] + t
+				tw += step
+			}
+		}
+	}
+}
+
+// OFDMModulator maps frequency-domain subcarrier values to time-domain
+// samples (IFFT with the LTE half-subcarrier layout: DC unused, positive
+// subcarriers in bins 1..k, negative in bins n-k..n-1) and back. One
+// instance per cell; scratch buffers are reused across symbols.
+type OFDMModulator struct {
+	fft     *FFT
+	usedSC  int // active subcarriers (12 × PRB)
+	scratch []complex128
+}
+
+// NewOFDMModulator returns a modulator for the given bandwidth.
+func NewOFDMModulator(bw Bandwidth) (*OFDMModulator, error) {
+	if err := bw.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := NewFFT(bw.FFTSize())
+	if err != nil {
+		return nil, err
+	}
+	return &OFDMModulator{
+		fft:     f,
+		usedSC:  bw.PRB() * SubcarriersPerPRB,
+		scratch: make([]complex128, f.Size()),
+	}, nil
+}
+
+// FFTSize returns the underlying transform length.
+func (o *OFDMModulator) FFTSize() int { return o.fft.Size() }
+
+// UsedSubcarriers returns the number of active data subcarriers.
+func (o *OFDMModulator) UsedSubcarriers() int { return o.usedSC }
+
+// Symbol transforms one OFDM symbol's subcarrier values (len == UsedSubcarriers)
+// into time-domain samples written into dst (len == FFTSize). It is the IFFT
+// direction used on the downlink and by the channel emulator's transmitter.
+func (o *OFDMModulator) Symbol(dst []complex128, subcarriers []complex128) error {
+	if len(subcarriers) != o.usedSC {
+		return fmt.Errorf("phy: got %d subcarriers, want %d: %w", len(subcarriers), o.usedSC, ErrBadParameter)
+	}
+	if len(dst) != o.fft.Size() {
+		return fmt.Errorf("phy: dst length %d != FFT size %d: %w", len(dst), o.fft.Size(), ErrBadParameter)
+	}
+	n := o.fft.Size()
+	for i := range dst {
+		dst[i] = 0
+	}
+	half := o.usedSC / 2
+	// Negative-frequency half occupies the top bins; positive starts at 1.
+	for k := 0; k < half; k++ {
+		dst[n-half+k] = subcarriers[k] // subcarriers below DC
+		dst[1+k] = subcarriers[half+k] // subcarriers above DC
+	}
+	return o.fft.Inverse(dst)
+}
+
+// Demodulate transforms time-domain samples (len == FFTSize) back into
+// subcarrier values written into dst (len == UsedSubcarriers). It is the FFT
+// direction that begins uplink processing.
+func (o *OFDMModulator) Demodulate(dst []complex128, samples []complex128) error {
+	if len(samples) != o.fft.Size() {
+		return fmt.Errorf("phy: got %d samples, want %d: %w", len(samples), o.fft.Size(), ErrBadParameter)
+	}
+	if len(dst) != o.usedSC {
+		return fmt.Errorf("phy: dst length %d != %d subcarriers: %w", len(dst), o.usedSC, ErrBadParameter)
+	}
+	copy(o.scratch, samples)
+	if err := o.fft.Forward(o.scratch); err != nil {
+		return err
+	}
+	n := o.fft.Size()
+	half := o.usedSC / 2
+	for k := 0; k < half; k++ {
+		dst[k] = o.scratch[n-half+k]
+		dst[half+k] = o.scratch[1+k]
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package phy
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSymbols(rng *rand.Rand, n int) []complex128 {
+	s := make([]complex128, n)
+	for i := range s {
+		s[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return s
+}
+
+func TestFFTInvalidSize(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100, -4} {
+		if _, err := NewFFT(n); err == nil {
+			t.Fatalf("size %d accepted", n)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is flat ones.
+	f, err := NewFFT(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, 64)
+	x[0] = 1
+	if err := f.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// exp(2πi·k0·n/N) concentrates all energy in bin k0.
+	const n, k0 = 128, 5
+	f, _ := NewFFT(n)
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * k0 * float64(i) / n
+		x[i] = cmplx.Exp(complex(0, ang))
+	}
+	if err := f.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := complex(0, 0)
+		if i == k0 {
+			want = complex(n, 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFFTRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 8, 128, 1024, 2048} {
+		f, err := NewFFT(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randSymbols(rng, n)
+		orig := make([]complex128, n)
+		copy(orig, x)
+		if err := f.Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Inverse(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d roundtrip error at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Σ|x|² == (1/N)·Σ|X|².
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 256
+		fft, _ := NewFFT(n)
+		x := randSymbols(rng, n)
+		var tPow float64
+		for _, v := range x {
+			tPow += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if err := fft.Forward(x); err != nil {
+			return false
+		}
+		var fPow float64
+		for _, v := range x {
+			fPow += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(tPow-fPow/n) < 1e-6*tPow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 64
+	f, _ := NewFFT(n)
+	a := randSymbols(rng, n)
+	b := randSymbols(rng, n)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = a[i] + 2*b[i]
+	}
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	fs := append([]complex128(nil), sum...)
+	_ = f.Forward(fa)
+	_ = f.Forward(fb)
+	_ = f.Forward(fs)
+	for i := range fs {
+		if cmplx.Abs(fs[i]-(fa[i]+2*fb[i])) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestFFTLengthMismatch(t *testing.T) {
+	f, _ := NewFFT(16)
+	if err := f.Forward(make([]complex128, 8)); err == nil {
+		t.Fatal("short input accepted by Forward")
+	}
+	if err := f.Inverse(make([]complex128, 32)); err == nil {
+		t.Fatal("long input accepted by Inverse")
+	}
+}
+
+func TestOFDMRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, bw := range []Bandwidth{BW1_4MHz, BW5MHz, BW10MHz, BW20MHz} {
+		o, err := NewOFDMModulator(bw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := randSymbols(rng, o.UsedSubcarriers())
+		td := make([]complex128, o.FFTSize())
+		if err := o.Symbol(td, sc); err != nil {
+			t.Fatal(err)
+		}
+		back := make([]complex128, o.UsedSubcarriers())
+		if err := o.Demodulate(back, td); err != nil {
+			t.Fatal(err)
+		}
+		for i := range sc {
+			if cmplx.Abs(back[i]-sc[i]) > 1e-9 {
+				t.Fatalf("bw=%v subcarrier %d: %v vs %v", bw, i, back[i], sc[i])
+			}
+		}
+	}
+}
+
+func TestOFDMDimensionErrors(t *testing.T) {
+	o, _ := NewOFDMModulator(BW10MHz)
+	if err := o.Symbol(make([]complex128, 4), make([]complex128, o.UsedSubcarriers())); err == nil {
+		t.Fatal("wrong dst size accepted")
+	}
+	if err := o.Demodulate(make([]complex128, o.UsedSubcarriers()), make([]complex128, 4)); err == nil {
+		t.Fatal("wrong sample count accepted")
+	}
+}
+
+func TestBandwidthTable(t *testing.T) {
+	cases := []struct {
+		bw   Bandwidth
+		prb  int
+		fft  int
+		mhz  float64
+		rate float64
+	}{
+		{BW1_4MHz, 6, 128, 1.4, 1.92e6},
+		{BW5MHz, 25, 512, 5, 7.68e6},
+		{BW10MHz, 50, 1024, 10, 15.36e6},
+		{BW20MHz, 100, 2048, 20, 30.72e6},
+	}
+	for _, c := range cases {
+		if c.bw.PRB() != c.prb || c.bw.FFTSize() != c.fft || c.bw.MHz() != c.mhz {
+			t.Fatalf("bandwidth %v: got prb=%d fft=%d mhz=%v", c.bw, c.bw.PRB(), c.bw.FFTSize(), c.bw.MHz())
+		}
+		if c.bw.SampleRate() != c.rate {
+			t.Fatalf("bandwidth %v: sample rate %v, want %v", c.bw, c.bw.SampleRate(), c.rate)
+		}
+		if err := c.bw.Validate(); err != nil {
+			t.Fatalf("standard bandwidth %v rejected: %v", c.bw, err)
+		}
+	}
+	if err := Bandwidth(33).Validate(); err == nil {
+		t.Fatal("nonstandard bandwidth accepted")
+	}
+}

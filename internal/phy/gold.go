@@ -1,0 +1,108 @@
+package phy
+
+// Gold-sequence scrambling per 3GPP TS 36.211 §7.2. LTE scrambles coded bits
+// with a length-31 Gold sequence whose initialization encodes the cell ID,
+// the RNTI, and the subframe number, decorrelating transmissions from
+// neighbouring cells. The scrambler is its own inverse (XOR), so the same
+// type serves both directions; for soft demodulation the descrambler flips
+// LLR signs instead of bits.
+
+const goldNc = 1600 // standard warm-up discard
+
+// GoldSequence generates the 36.211 pseudo-random sequence c(n) for a given
+// cinit. The zero value is not usable; construct with NewGoldSequence.
+type GoldSequence struct {
+	x1, x2 uint32
+}
+
+// NewGoldSequence returns a generator initialized with cinit and advanced
+// past the Nc = 1600 warm-up interval, ready to emit c(0), c(1), ...
+func NewGoldSequence(cinit uint32) *GoldSequence {
+	g := &GoldSequence{x1: 1, x2: cinit & 0x7FFFFFFF}
+	for i := 0; i < goldNc; i++ {
+		g.step()
+	}
+	return g
+}
+
+// step advances both LFSRs one position and returns the output bit.
+func (g *GoldSequence) step() byte {
+	out := byte((g.x1 ^ g.x2) & 1)
+	// x1(n+31) = (x1(n+3) + x1(n)) mod 2
+	x1fb := ((g.x1 >> 3) ^ g.x1) & 1
+	g.x1 = (g.x1 >> 1) | (x1fb << 30)
+	// x2(n+31) = (x2(n+3) + x2(n+2) + x2(n+1) + x2(n)) mod 2
+	x2fb := ((g.x2 >> 3) ^ (g.x2 >> 2) ^ (g.x2 >> 1) ^ g.x2) & 1
+	g.x2 = (g.x2 >> 1) | (x2fb << 30)
+	return out
+}
+
+// Next returns the next sequence bit (0 or 1).
+func (g *GoldSequence) Next() byte { return g.step() }
+
+// Fill writes len(dst) sequence bits into dst.
+func (g *GoldSequence) Fill(dst []byte) {
+	for i := range dst {
+		dst[i] = g.step()
+	}
+}
+
+// ScramblerInit derives cinit per 36.211 §6.3.1 for PDSCH/PUSCH:
+// cinit = rnti·2^14 + q·2^13 + floor(ns/2)·2^9 + cellID, with codeword q=0.
+func ScramblerInit(rnti uint16, cellID uint16, subframe uint8) uint32 {
+	return uint32(rnti)<<14 | uint32(subframe&0xF)<<9 | uint32(cellID)&0x1FF
+}
+
+// Scrambler XORs a bit stream with a Gold sequence. The keystream buffer is
+// reused across calls and across Reinit, so steady-state scrambling does not
+// allocate — one Scrambler per transport processor serves every subframe.
+type Scrambler struct {
+	cinit uint32
+	key   []byte
+	valid int // keystream bits currently valid for cinit
+}
+
+// NewScrambler returns a scrambler for the given initialization value.
+func NewScrambler(cinit uint32) *Scrambler { return &Scrambler{cinit: cinit} }
+
+// Reinit switches the scrambler to a new initialization value, retaining
+// the keystream buffer. Subsequent calls regenerate lazily.
+func (s *Scrambler) Reinit(cinit uint32) {
+	if s.cinit != cinit {
+		s.cinit = cinit
+		s.valid = 0
+	}
+}
+
+// ensureKey regenerates the keystream when the requested length grows or
+// the initialization changed.
+func (s *Scrambler) ensureKey(n int) {
+	if s.valid >= n {
+		return
+	}
+	if cap(s.key) < n {
+		s.key = make([]byte, n)
+	}
+	s.key = s.key[:n]
+	NewGoldSequence(s.cinit).Fill(s.key)
+	s.valid = n
+}
+
+// Scramble XORs bits in place with the keystream starting at position 0.
+func (s *Scrambler) Scramble(bits []byte) {
+	s.ensureKey(len(bits))
+	for i := range bits {
+		bits[i] ^= s.key[i]
+	}
+}
+
+// DescrambleLLR applies descrambling to soft values: where the keystream bit
+// is 1 the LLR sign flips (bit convention: positive LLR ⇒ bit 0).
+func (s *Scrambler) DescrambleLLR(llr []float32) {
+	s.ensureKey(len(llr))
+	for i := range llr {
+		if s.key[i] == 1 {
+			llr[i] = -llr[i]
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoldDeterminism(t *testing.T) {
+	a := NewGoldSequence(12345)
+	b := NewGoldSequence(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same cinit diverged at bit %d", i)
+		}
+	}
+}
+
+func TestGoldDifferentInits(t *testing.T) {
+	a := NewGoldSequence(1)
+	b := NewGoldSequence(2)
+	same := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	// Distinct Gold sequences have low cross-correlation: agreement should
+	// be near 50%.
+	if same < n*4/10 || same > n*6/10 {
+		t.Fatalf("cross-agreement %d/%d outside [40%%,60%%]", same, n)
+	}
+}
+
+func TestGoldBalance(t *testing.T) {
+	g := NewGoldSequence(0x5A5A5)
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Next() == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("ones fraction %.4f too far from 0.5", frac)
+	}
+}
+
+func TestScramblerInvolution(t *testing.T) {
+	s := NewScrambler(ScramblerInit(17, 42, 3))
+	bits := make([]byte, 512)
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	orig := make([]byte, len(bits))
+	copy(orig, bits)
+	s.Scramble(bits)
+	diff := 0
+	for i := range bits {
+		if bits[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("scrambling changed nothing")
+	}
+	s.Scramble(bits)
+	for i := range bits {
+		if bits[i] != orig[i] {
+			t.Fatalf("double scramble not identity at %d", i)
+		}
+	}
+}
+
+func TestDescrambleLLRMatchesBitScramble(t *testing.T) {
+	cinit := ScramblerInit(100, 7, 9)
+	s := NewScrambler(cinit)
+	bits := make([]byte, 256)
+	for i := range bits {
+		bits[i] = byte((i >> 2) & 1)
+	}
+	scrambled := make([]byte, len(bits))
+	copy(scrambled, bits)
+	s.Scramble(scrambled)
+	// Map scrambled bits to ideal LLRs (+1 for 0, −1 for 1), descramble, and
+	// confirm the signs encode the original bits.
+	llr := make([]float32, len(bits))
+	for i, b := range scrambled {
+		if b == 0 {
+			llr[i] = 1
+		} else {
+			llr[i] = -1
+		}
+	}
+	NewScrambler(cinit).DescrambleLLR(llr)
+	for i := range bits {
+		want := bits[i]
+		got := byte(0)
+		if llr[i] < 0 {
+			got = 1
+		}
+		if got != want {
+			t.Fatalf("descrambled LLR sign wrong at %d", i)
+		}
+	}
+}
+
+func TestScramblerReinit(t *testing.T) {
+	// Reinit must switch keystreams without allocating once the buffer has
+	// grown, and must match a freshly built scrambler bit-for-bit.
+	s := NewScrambler(ScramblerInit(1, 2, 3))
+	bits := make([]byte, 1024)
+	s.Scramble(bits) // grow the buffer
+	for i := range bits {
+		bits[i] = 0
+	}
+	s.Reinit(ScramblerInit(9, 8, 7))
+	allocs := testing.AllocsPerRun(5, func() {
+		s.Reinit(ScramblerInit(9, 8, 7))
+		s.Scramble(bits)
+	})
+	if allocs > 0 {
+		t.Fatalf("Reinit+Scramble allocates %v times", allocs)
+	}
+	// Equivalence with a fresh scrambler: scramble zeros yields the
+	// keystream itself.
+	for i := range bits {
+		bits[i] = 0
+	}
+	s.Reinit(ScramblerInit(5, 5, 5))
+	s.Scramble(bits)
+	fresh := NewScrambler(ScramblerInit(5, 5, 5))
+	want := make([]byte, len(bits))
+	fresh.Scramble(want)
+	for i := range bits {
+		if bits[i] != want[i] {
+			t.Fatalf("Reinit keystream differs at %d", i)
+		}
+	}
+	// Reinit to the same cinit must keep the keystream valid.
+	s.Reinit(ScramblerInit(5, 5, 5))
+	again := make([]byte, len(bits))
+	s.Scramble(again)
+	for i := range again {
+		if again[i] != want[i] {
+			t.Fatalf("same-cinit Reinit invalidated keystream at %d", i)
+		}
+	}
+}
+
+func TestScramblerInitFields(t *testing.T) {
+	// Different RNTIs, cells and subframes must produce different cinit.
+	a := ScramblerInit(1, 1, 1)
+	if a == ScramblerInit(2, 1, 1) || a == ScramblerInit(1, 2, 1) || a == ScramblerInit(1, 1, 2) {
+		t.Fatal("cinit collision across distinct parameters")
+	}
+}

@@ -1,0 +1,137 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// MCS tables in the spirit of 36.213 §8.6 (PUSCH). Each MCS index 0–28
+// selects a modulation order and a target code rate; the transport block
+// size (TBS) is derived from the scheduled PRB count so that the coded bits
+// fill the allocated resource elements at that rate. The exact 3GPP TBS
+// table (27×110 integers) is replaced by this rate-driven computation — the
+// resulting sizes track the standard within a few percent, which preserves
+// the compute-vs-MCS shape PRAN's evaluation depends on (DESIGN.md §2).
+
+// MCS is an LTE modulation-and-coding-scheme index in [0, 28].
+type MCS int
+
+// MaxMCS is the highest supported MCS index.
+const MaxMCS MCS = 28
+
+// Validate reports whether the index is in range.
+func (m MCS) Validate() error {
+	if m < 0 || m > MaxMCS {
+		return fmt.Errorf("phy: MCS %d out of [0,%d]: %w", int(m), int(MaxMCS), ErrBadParameter)
+	}
+	return nil
+}
+
+// mcsSpec fixes modulation and approximate code rate per index. Rates follow
+// the CQI efficiency ladder of 36.213 table 7.2.3-1 interpolated onto 29
+// indices: QPSK for 0–10, 16-QAM for 11–20, 64-QAM for 21–28.
+type mcsSpec struct {
+	mod  Modulation
+	rate float64 // target code rate (information bits per coded bit)
+}
+
+var mcsTable = [MaxMCS + 1]mcsSpec{
+	{QPSK, 0.094}, {QPSK, 0.122}, {QPSK, 0.154}, {QPSK, 0.192}, {QPSK, 0.242},
+	{QPSK, 0.301}, {QPSK, 0.370}, {QPSK, 0.438}, {QPSK, 0.514}, {QPSK, 0.588},
+	{QPSK, 0.663},
+	{QAM16, 0.332}, {QAM16, 0.369}, {QAM16, 0.424}, {QAM16, 0.479}, {QAM16, 0.540},
+	{QAM16, 0.602}, {QAM16, 0.643}, {QAM16, 0.693}, {QAM16, 0.754}, {QAM16, 0.840},
+	{QAM64, 0.568}, {QAM64, 0.602}, {QAM64, 0.650}, {QAM64, 0.702}, {QAM64, 0.754},
+	{QAM64, 0.803}, {QAM64, 0.853}, {QAM64, 0.926},
+}
+
+// Modulation returns the constellation for the MCS.
+func (m MCS) Modulation() Modulation {
+	if m.Validate() != nil {
+		return QPSK
+	}
+	return mcsTable[m].mod
+}
+
+// CodeRate returns the target code rate for the MCS.
+func (m MCS) CodeRate() float64 {
+	if m.Validate() != nil {
+		return mcsTable[0].rate
+	}
+	return mcsTable[m].rate
+}
+
+// Efficiency returns spectral efficiency in information bits per resource
+// element (Qm × rate).
+func (m MCS) Efficiency() float64 {
+	return float64(m.Modulation().BitsPerSymbol()) * m.CodeRate()
+}
+
+// CodedBits returns E, the number of coded bits carried by nprb resource
+// blocks in one subframe at this MCS's modulation.
+func (m MCS) CodedBits(nprb int) int {
+	return nprb * DataREsPerPRB * m.Modulation().BitsPerSymbol()
+}
+
+// TransportBlockSize returns the TB payload size in bits (excluding the
+// 24-bit TB CRC) for nprb resource blocks at this MCS, byte-aligned and
+// clamped to at least 16 bits. It returns an error for invalid inputs.
+func (m MCS) TransportBlockSize(nprb int) (int, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if nprb < 1 || nprb > MaxPRB {
+		return 0, fmt.Errorf("phy: nprb=%d out of [1,%d]: %w", nprb, MaxPRB, ErrBadParameter)
+	}
+	e := float64(m.CodedBits(nprb))
+	a := e*m.CodeRate() - 24 // subtract TB CRC
+	bits := int(a/8) * 8
+	if bits < 16 {
+		bits = 16
+	}
+	return bits, nil
+}
+
+// OperatingSNR returns the approximate AWGN SNR in dB at which this MCS
+// achieves roughly 10% BLER on first transmission: the Shannon-inverse of
+// its spectral efficiency plus an implementation gap. The gap grows with
+// code rate — max-log decoding of heavily punctured blocks sits farther
+// from capacity than strong low-rate codes.
+// Taking the running maximum over the ladder keeps switch points monotone
+// at modulation transitions, where a fresh low-rate code can be more robust
+// than the preceding high-rate one at near-equal efficiency.
+func (m MCS) OperatingSNR() float64 {
+	best := math.Inf(-1)
+	for i := MCS(0); i <= m && i <= MaxMCS; i++ {
+		eff := i.Efficiency()
+		shannon := 10 * math.Log10(math.Pow(2, eff)-1)
+		r := i.CodeRate()
+		if v := shannon + 1.0 + 3.0*r*r; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MCSForSNR returns the highest MCS whose operating SNR does not exceed
+// snrDB, i.e. link adaptation against the AWGN model. It never returns an
+// index below 0.
+func MCSForSNR(snrDB float64) MCS {
+	best := MCS(0)
+	for m := MCS(0); m <= MaxMCS; m++ {
+		if m.OperatingSNR() <= snrDB {
+			best = m
+		}
+	}
+	return best
+}
+
+// PeakThroughput returns the nominal peak PHY throughput in bits/s for the
+// MCS over nprb PRBs (one TB per 1 ms subframe).
+func (m MCS) PeakThroughput(nprb int) float64 {
+	tbs, err := m.TransportBlockSize(nprb)
+	if err != nil {
+		return 0
+	}
+	return float64(tbs) * 1000
+}

@@ -1,0 +1,175 @@
+package phy
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMCSValidation(t *testing.T) {
+	if err := MCS(-1).Validate(); err == nil {
+		t.Fatal("MCS -1 accepted")
+	}
+	if err := MCS(29).Validate(); err == nil {
+		t.Fatal("MCS 29 accepted")
+	}
+	for m := MCS(0); m <= MaxMCS; m++ {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("MCS %d rejected: %v", m, err)
+		}
+	}
+}
+
+func TestMCSModulationRegions(t *testing.T) {
+	for m := MCS(0); m <= 10; m++ {
+		if m.Modulation() != QPSK {
+			t.Fatalf("MCS %d: %v, want QPSK", m, m.Modulation())
+		}
+	}
+	for m := MCS(11); m <= 20; m++ {
+		if m.Modulation() != QAM16 {
+			t.Fatalf("MCS %d: %v, want 16QAM", m, m.Modulation())
+		}
+	}
+	for m := MCS(21); m <= 28; m++ {
+		if m.Modulation() != QAM64 {
+			t.Fatalf("MCS %d: %v, want 64QAM", m, m.Modulation())
+		}
+	}
+}
+
+func TestMCSEfficiencyMonotone(t *testing.T) {
+	prev := 0.0
+	for m := MCS(0); m <= MaxMCS; m++ {
+		eff := m.Efficiency()
+		if eff <= prev {
+			t.Fatalf("efficiency not strictly increasing at MCS %d (%v ≤ %v)", m, eff, prev)
+		}
+		prev = eff
+	}
+}
+
+func TestMCSCodeRatesInRange(t *testing.T) {
+	for m := MCS(0); m <= MaxMCS; m++ {
+		r := m.CodeRate()
+		if r <= 0 || r >= 0.95 {
+			t.Fatalf("MCS %d code rate %v outside (0, 0.95)", m, r)
+		}
+	}
+}
+
+func TestTBSMonotoneInPRB(t *testing.T) {
+	for _, m := range []MCS{0, 10, 15, 28} {
+		prev := 0
+		for nprb := 1; nprb <= MaxPRB; nprb++ {
+			tbs, err := m.TransportBlockSize(nprb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbs < prev {
+				t.Fatalf("MCS %d: TBS decreased at %d PRB (%d < %d)", m, nprb, tbs, prev)
+			}
+			if tbs%8 != 0 && tbs != 16 {
+				t.Fatalf("MCS %d nprb=%d: TBS %d not byte aligned", m, nprb, tbs)
+			}
+			prev = tbs
+		}
+	}
+}
+
+func TestTBSMonotoneInMCS(t *testing.T) {
+	for _, nprb := range []int{1, 25, 50, 100} {
+		prev := 0
+		for m := MCS(0); m <= MaxMCS; m++ {
+			tbs, err := m.TransportBlockSize(nprb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbs < prev {
+				t.Fatalf("nprb=%d: TBS decreased at MCS %d", nprb, m)
+			}
+			prev = tbs
+		}
+	}
+}
+
+func TestTBSRealisticRange(t *testing.T) {
+	// Sanity against the real standard's corner values: MCS 28 at 100 PRB
+	// is ~75 Mb/s (TBS ≈ 75376); ours must land within 25%.
+	tbs, err := MaxMCS.TransportBlockSize(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbs < 55000 || tbs > 95000 {
+		t.Fatalf("TBS(28,100) = %d implausible vs ~75k standard", tbs)
+	}
+	// And the smallest configuration stays tiny.
+	tbs0, _ := MCS(0).TransportBlockSize(1)
+	if tbs0 > 100 {
+		t.Fatalf("TBS(0,1) = %d too large", tbs0)
+	}
+}
+
+func TestTBSErrors(t *testing.T) {
+	if _, err := MCS(5).TransportBlockSize(0); !errors.Is(err, ErrBadParameter) {
+		t.Fatal("nprb=0 accepted")
+	}
+	if _, err := MCS(5).TransportBlockSize(101); err == nil {
+		t.Fatal("nprb=101 accepted")
+	}
+	if _, err := MCS(40).TransportBlockSize(10); err == nil {
+		t.Fatal("MCS 40 accepted")
+	}
+}
+
+func TestOperatingSNRMonotone(t *testing.T) {
+	// Non-decreasing across the ladder (flat spots are allowed at
+	// modulation transitions), and strictly higher at the top than the
+	// bottom.
+	prev := -100.0
+	for m := MCS(0); m <= MaxMCS; m++ {
+		snr := m.OperatingSNR()
+		if snr < prev {
+			t.Fatalf("operating SNR decreases at MCS %d", m)
+		}
+		prev = snr
+	}
+	if MaxMCS.OperatingSNR() < MCS(0).OperatingSNR()+10 {
+		t.Fatal("SNR ladder implausibly flat")
+	}
+}
+
+func TestMCSForSNR(t *testing.T) {
+	if m := MCSForSNR(-20); m != 0 {
+		t.Fatalf("very low SNR → MCS %d, want 0", m)
+	}
+	if m := MCSForSNR(40); m != MaxMCS {
+		t.Fatalf("very high SNR → MCS %d, want %d", m, MaxMCS)
+	}
+	// Monotone in SNR.
+	prev := MCS(0)
+	for snr := -10.0; snr <= 30; snr += 0.5 {
+		m := MCSForSNR(snr)
+		if m < prev {
+			t.Fatalf("MCSForSNR not monotone at %v dB", snr)
+		}
+		prev = m
+	}
+	// Self-consistency: the chosen MCS's operating point is below the SNR.
+	for snr := 0.0; snr <= 25; snr += 1 {
+		m := MCSForSNR(snr)
+		if m.OperatingSNR() > snr {
+			t.Fatalf("MCSForSNR(%v) = %d with operating SNR %v", snr, m, m.OperatingSNR())
+		}
+	}
+}
+
+func TestPeakThroughput(t *testing.T) {
+	// 20 MHz MCS 28 should be in the tens of Mb/s.
+	tput := MaxMCS.PeakThroughput(100)
+	if tput < 50e6 || tput > 100e6 {
+		t.Fatalf("peak throughput %v implausible", tput)
+	}
+	if MCS(0).PeakThroughput(1) <= 0 {
+		t.Fatal("zero throughput at MCS 0")
+	}
+}

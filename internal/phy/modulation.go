@@ -1,0 +1,161 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Modulation is the constellation used for a transport block, identified by
+// its bits-per-symbol order Qm as in 36.211 §7.1: QPSK (2), 16-QAM (4),
+// 64-QAM (6).
+type Modulation uint8
+
+// Supported constellations.
+const (
+	QPSK  Modulation = 2
+	QAM16 Modulation = 4
+	QAM64 Modulation = 6
+)
+
+// BitsPerSymbol returns Qm.
+func (m Modulation) BitsPerSymbol() int { return int(m) }
+
+// String implements fmt.Stringer.
+func (m Modulation) String() string {
+	switch m {
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16QAM"
+	case QAM64:
+		return "64QAM"
+	default:
+		return fmt.Sprintf("Modulation(%d)", uint8(m))
+	}
+}
+
+// Validate reports whether m is a supported constellation.
+func (m Modulation) Validate() error {
+	switch m {
+	case QPSK, QAM16, QAM64:
+		return nil
+	}
+	return fmt.Errorf("phy: unsupported modulation order %d: %w", uint8(m), ErrBadParameter)
+}
+
+// Per-axis PAM levels for Gray-mapped square QAM, normalized to unit average
+// symbol energy, per 36.211 tables 7.1.2-1/3-1/4-1. For each axis the bits
+// (MSB first along that axis) Gray-index the level.
+var (
+	qpskLevel  = [2]float64{+1 / math.Sqrt2, -1 / math.Sqrt2}
+	qam16Level = [4]float64{
+		+1 / math.Sqrt(10), +3 / math.Sqrt(10),
+		-1 / math.Sqrt(10), -3 / math.Sqrt(10),
+	}
+	qam64Level = [8]float64{
+		+3 / math.Sqrt(42), +1 / math.Sqrt(42), +5 / math.Sqrt(42), +7 / math.Sqrt(42),
+		-3 / math.Sqrt(42), -1 / math.Sqrt(42), -5 / math.Sqrt(42), -7 / math.Sqrt(42),
+	}
+)
+
+// Modulate maps bits (len must be a multiple of Qm) to complex symbols,
+// appending to dst and returning it. LTE interleaves axis bits: for Qm=2k the
+// even-position bits select the I level and odd-position bits the Q level.
+func Modulate(dst []complex128, bits []byte, m Modulation) ([]complex128, error) {
+	qm := m.BitsPerSymbol()
+	if err := m.Validate(); err != nil {
+		return dst, err
+	}
+	if len(bits)%qm != 0 {
+		return dst, fmt.Errorf("phy: bit count %d not a multiple of Qm=%d: %w", len(bits), qm, ErrBadParameter)
+	}
+	for i := 0; i < len(bits); i += qm {
+		var iIdx, qIdx int
+		for k := 0; k < qm; k += 2 {
+			iIdx = iIdx<<1 | int(bits[i+k]&1)
+			qIdx = qIdx<<1 | int(bits[i+k+1]&1)
+		}
+		var re, im float64
+		switch m {
+		case QPSK:
+			re, im = qpskLevel[iIdx], qpskLevel[qIdx]
+		case QAM16:
+			re, im = qam16Level[iIdx], qam16Level[qIdx]
+		case QAM64:
+			re, im = qam64Level[iIdx], qam64Level[qIdx]
+		}
+		dst = append(dst, complex(re, im))
+	}
+	return dst, nil
+}
+
+// Demodulate computes per-bit log-likelihood ratios for received symbols
+// under AWGN with per-dimension noise variance n0/2 (n0 = total complex noise
+// power). Positive LLR means bit 0 is more likely, matching the turbo
+// decoder's convention. Max-log approximation: LLR = (min over bit=1 points −
+// min over bit=0 points)/… computed per axis since square QAM axes are
+// independent. Results are appended to dst.
+func Demodulate(dst []float32, syms []complex128, m Modulation, n0 float64) ([]float32, error) {
+	if err := m.Validate(); err != nil {
+		return dst, err
+	}
+	if n0 <= 0 {
+		n0 = 1e-9
+	}
+	invN0 := 2 / n0 // per-axis noise variance is n0/2
+	half := m.BitsPerSymbol() / 2
+	var iLLR, qLLR [3]float32 // up to 64-QAM: 3 bits per axis
+	for _, s := range syms {
+		re, im := real(s), imag(s)
+		for k := 0; k < half; k++ {
+			iLLR[k] = axisLLR(re, m, k, half, invN0)
+			qLLR[k] = axisLLR(im, m, k, half, invN0)
+		}
+		// Transmitted ordering interleaves axis bits: b0(I) b1(Q) b2(I) ...
+		for k := 0; k < half; k++ {
+			dst = append(dst, iLLR[k], qLLR[k])
+		}
+	}
+	return dst, nil
+}
+
+// axisLLR computes the max-log LLR of the k-th bit (0 = MSB) on one PAM axis
+// with received coordinate x.
+func axisLLR(x float64, m Modulation, k, half int, invN0 float64) float32 {
+	var levels []float64
+	switch m {
+	case QPSK:
+		levels = qpskLevel[:]
+	case QAM16:
+		levels = qam16Level[:]
+	case QAM64:
+		levels = qam64Level[:]
+	}
+	min0 := math.Inf(1)
+	min1 := math.Inf(1)
+	for idx, lv := range levels {
+		d := x - lv
+		met := d * d
+		if (idx>>uint(half-1-k))&1 == 0 {
+			if met < min0 {
+				min0 = met
+			}
+		} else if met < min1 {
+			min1 = met
+		}
+	}
+	return float32((min1 - min0) * invN0)
+}
+
+// HardDecision converts LLRs to bits using the positive-LLR⇒0 convention,
+// appending to dst.
+func HardDecision(dst []byte, llr []float32) []byte {
+	for _, v := range llr {
+		if v >= 0 {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,145 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModulationProperties(t *testing.T) {
+	for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Modulation(3).Validate(); err == nil {
+		t.Fatal("Qm=3 accepted")
+	}
+	if QPSK.BitsPerSymbol() != 2 || QAM16.BitsPerSymbol() != 4 || QAM64.BitsPerSymbol() != 6 {
+		t.Fatal("bits per symbol wrong")
+	}
+}
+
+func TestConstellationUnitEnergy(t *testing.T) {
+	// Averaged over all bit patterns, symbol energy must be 1.
+	for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+		qm := m.BitsPerSymbol()
+		n := 1 << qm
+		var energy float64
+		for v := 0; v < n; v++ {
+			bits := make([]byte, qm)
+			for i := 0; i < qm; i++ {
+				bits[i] = byte((v >> uint(qm-1-i)) & 1)
+			}
+			syms, err := Modulate(nil, bits, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			energy += real(syms[0])*real(syms[0]) + imag(syms[0])*imag(syms[0])
+		}
+		energy /= float64(n)
+		if math.Abs(energy-1) > 1e-12 {
+			t.Fatalf("%v: mean energy %v, want 1", m, energy)
+		}
+	}
+}
+
+func TestConstellationDistinctPoints(t *testing.T) {
+	for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+		qm := m.BitsPerSymbol()
+		n := 1 << qm
+		seen := make(map[complex128]bool)
+		for v := 0; v < n; v++ {
+			bits := make([]byte, qm)
+			for i := 0; i < qm; i++ {
+				bits[i] = byte((v >> uint(qm-1-i)) & 1)
+			}
+			syms, _ := Modulate(nil, bits, m)
+			if seen[syms[0]] {
+				t.Fatalf("%v: duplicate constellation point for pattern %b", m, v)
+			}
+			seen[syms[0]] = true
+		}
+	}
+}
+
+func TestModDemodNoiseFreeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+		bits := randBits(rng, 600*m.BitsPerSymbol()/6*6)
+		// Make the length a multiple of Qm.
+		bits = bits[:len(bits)/m.BitsPerSymbol()*m.BitsPerSymbol()]
+		syms, err := Modulate(nil, bits, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llr, err := Demodulate(nil, syms, m, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(llr) != len(bits) {
+			t.Fatalf("%v: %d LLRs for %d bits", m, len(llr), len(bits))
+		}
+		out := HardDecision(nil, llr)
+		for i := range bits {
+			if out[i] != bits[i] {
+				t.Fatalf("%v: hard decision wrong at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestDemodLLRMagnitudeScalesWithSNR(t *testing.T) {
+	bits := []byte{0, 0}
+	syms, _ := Modulate(nil, bits, QPSK)
+	hi, _ := Demodulate(nil, syms, QPSK, 0.01)
+	lo, _ := Demodulate(nil, syms, QPSK, 1.0)
+	if hi[0] <= lo[0] {
+		t.Fatalf("LLR at low noise (%v) not larger than at high noise (%v)", hi[0], lo[0])
+	}
+	if hi[0] <= 0 || lo[0] <= 0 {
+		t.Fatal("bit 0 must give positive LLR")
+	}
+}
+
+func TestModulateRejectsBadLength(t *testing.T) {
+	if _, err := Modulate(nil, make([]byte, 5), QAM16); err == nil {
+		t.Fatal("non-multiple of Qm accepted")
+	}
+	if _, err := Modulate(nil, make([]byte, 4), Modulation(5)); err == nil {
+		t.Fatal("invalid modulation accepted")
+	}
+}
+
+func TestModDemodQuickUnderLightNoise(t *testing.T) {
+	// Under light AWGN the minimum-distance decision must still be right
+	// nearly always; we assert zero errors at very high SNR.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mods := []Modulation{QPSK, QAM16, QAM64}
+		m := mods[rng.Intn(len(mods))]
+		n := m.BitsPerSymbol() * (1 + rng.Intn(100))
+		bits := randBits(rng, n)
+		syms, err := Modulate(nil, bits, m)
+		if err != nil {
+			return false
+		}
+		ch := NewAWGNChannel(40, seed) // 40 dB: essentially noiseless
+		ch.Apply(syms)
+		llr, err := Demodulate(nil, syms, m, ch.N0())
+		if err != nil {
+			return false
+		}
+		out := HardDecision(nil, llr)
+		for i := range bits {
+			if out[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Maximal-ratio combining (MRC) for receive antenna diversity. The RRH's A
+// antennas observe the same transmitted resource element through A
+// independent channels; weighting each observation by its conjugate channel
+// estimate and normalizing by the total channel power maximizes the
+// post-combining SNR (ideally A× the single-antenna SNR, i.e. +3 dB for two
+// antennas). The pool pays A× the FFT cost for this gain — the trade the
+// cost model's antenna scaling encodes.
+
+// MRCCombine combines per-antenna observations into out:
+//
+//	out[k] = Σ_a conj(H_a[k])·y_a[k] / Σ_a |H_a[k]|²
+//
+// rows[a] and ests[a] hold antenna a's received REs and channel estimate.
+// It returns the mean post-combining noise enhancement factor
+// mean(1/Σ|H_a|²), the MRC analogue of Equalize's return.
+func MRCCombine(out []complex128, rows, ests [][]complex128) (float64, error) {
+	if len(rows) == 0 || len(rows) != len(ests) {
+		return 0, fmt.Errorf("phy: MRC needs matching antenna sets (%d rows, %d estimates): %w",
+			len(rows), len(ests), ErrBadParameter)
+	}
+	n := len(out)
+	for a := range rows {
+		if len(rows[a]) != n || len(ests[a]) != n {
+			return 0, fmt.Errorf("phy: MRC antenna %d length mismatch: %w", a, ErrBadParameter)
+		}
+	}
+	const floor = 1e-3
+	var enh float64
+	for k := 0; k < n; k++ {
+		var num complex128
+		var den float64
+		for a := range rows {
+			h := ests[a][k]
+			num += cmplx.Conj(h) * rows[a][k]
+			den += real(h)*real(h) + imag(h)*imag(h)
+		}
+		if den < floor {
+			den = floor
+		}
+		out[k] = num / complex(den, 0)
+		enh += 1 / den
+	}
+	return enh / float64(n), nil
+}
+
+// MRCGainDB estimates the array gain of combining A antennas with the given
+// per-antenna channel estimates: 10·log10(mean Σ|H_a|² / mean |H_0|²).
+// For i.i.d. unit-power channels this approaches 10·log10(A).
+func MRCGainDB(ests [][]complex128) float64 {
+	if len(ests) == 0 || len(ests[0]) == 0 {
+		return 0
+	}
+	n := len(ests[0])
+	var combined, single float64
+	for k := 0; k < n; k++ {
+		for a := range ests {
+			h := ests[a][k]
+			p := real(h)*real(h) + imag(h)*imag(h)
+			combined += p
+			if a == 0 {
+				single += p
+			}
+		}
+	}
+	if single == 0 {
+		return 0
+	}
+	return 10 * math.Log10(combined/single)
+}

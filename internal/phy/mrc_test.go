@@ -1,0 +1,158 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMRCIdentityChannels(t *testing.T) {
+	// With all-ones channels, MRC averages the antennas: noise power drops
+	// by A and the signal is unchanged.
+	const n, ants = 256, 2
+	rng := rand.New(rand.NewSource(1))
+	tx := randSymbols(rng, n)
+	rows := make([][]complex128, ants)
+	ests := make([][]complex128, ants)
+	for a := 0; a < ants; a++ {
+		rows[a] = append([]complex128(nil), tx...)
+		ests[a] = make([]complex128, n)
+		for k := range ests[a] {
+			ests[a][k] = 1
+		}
+	}
+	out := make([]complex128, n)
+	enh, err := MRCCombine(out, rows, ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range tx {
+		if d := out[k] - tx[k]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatalf("identity MRC distorted symbol %d", k)
+		}
+	}
+	if math.Abs(enh-0.5) > 1e-12 {
+		t.Fatalf("2-antenna identity enhancement %v, want 0.5", enh)
+	}
+}
+
+func TestMRCRecoversThroughFading(t *testing.T) {
+	// Each antenna sees an independent EVA channel; MRC with perfect
+	// estimates must reconstruct the transmitted symbols.
+	const ants = 4
+	rng := rand.New(rand.NewSource(2))
+	cr0, _ := NewChannelResponse(ProfileEVA, BW5MHz, 10)
+	n := len(cr0.H)
+	tx := randSymbols(rng, n)
+	rows := make([][]complex128, ants)
+	ests := make([][]complex128, ants)
+	for a := 0; a < ants; a++ {
+		cr, err := NewChannelResponse(ProfileEVA, BW5MHz, 10+int64(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[a] = append([]complex128(nil), tx...)
+		if err := cr.Apply(rows[a]); err != nil {
+			t.Fatal(err)
+		}
+		ests[a] = cr.H
+	}
+	out := make([]complex128, n)
+	if _, err := MRCCombine(out, rows, ests); err != nil {
+		t.Fatal(err)
+	}
+	for k := range tx {
+		d := out[k] - tx[k]
+		if real(d)*real(d)+imag(d)*imag(d) > 1e-12 {
+			t.Fatalf("MRC residual at %d", k)
+		}
+	}
+}
+
+func TestMRCBeatsSingleAntennaUnderNoise(t *testing.T) {
+	// Measured EVM after MRC across 2 antennas must beat the best single
+	// antenna — the diversity gain.
+	const ants = 2
+	rng := rand.New(rand.NewSource(3))
+	cr0, _ := NewChannelResponse(ProfileEPA, BW5MHz, 20)
+	n := len(cr0.H)
+	tx := randSymbols(rng, n)
+	rows := make([][]complex128, ants)
+	ests := make([][]complex128, ants)
+	noise := NewAWGNChannel(10, 21)
+	singleEVM := math.Inf(1)
+	for a := 0; a < ants; a++ {
+		cr, _ := NewChannelResponse(ProfileEPA, BW5MHz, 20+int64(a))
+		rows[a] = append([]complex128(nil), tx...)
+		_ = cr.Apply(rows[a])
+		noise.Apply(rows[a])
+		ests[a] = cr.H
+		// Equalize a copy for the single-antenna comparison.
+		single := append([]complex128(nil), rows[a]...)
+		if _, err := Equalize(single, cr.H); err != nil {
+			t.Fatal(err)
+		}
+		if evm, _ := EVM(tx, single); evm < singleEVM {
+			singleEVM = evm
+		}
+	}
+	out := make([]complex128, n)
+	if _, err := MRCCombine(out, rows, ests); err != nil {
+		t.Fatal(err)
+	}
+	mrcEVM, _ := EVM(tx, out)
+	if mrcEVM >= singleEVM {
+		t.Fatalf("MRC EVM %v not below best single antenna %v", mrcEVM, singleEVM)
+	}
+}
+
+func TestMRCGainApproachesArrayGain(t *testing.T) {
+	// Over many i.i.d. realizations the array gain approaches 10·log10(A).
+	const ants = 4
+	var total float64
+	const trials = 50
+	for s := int64(0); s < trials; s++ {
+		ests := make([][]complex128, ants)
+		for a := 0; a < ants; a++ {
+			cr, _ := NewChannelResponse(ProfileEVA, BW5MHz, 100+s*10+int64(a))
+			ests[a] = cr.H
+		}
+		total += MRCGainDB(ests)
+	}
+	mean := total / trials
+	want := 10 * math.Log10(ants)
+	if math.Abs(mean-want) > 1.5 {
+		t.Fatalf("mean array gain %v dB, want ≈ %v", mean, want)
+	}
+}
+
+func TestMRCValidation(t *testing.T) {
+	out := make([]complex128, 4)
+	if _, err := MRCCombine(out, nil, nil); err == nil {
+		t.Fatal("no antennas accepted")
+	}
+	rows := [][]complex128{make([]complex128, 4)}
+	ests := [][]complex128{make([]complex128, 3)}
+	if _, err := MRCCombine(out, rows, ests); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MRCCombine(out, rows, [][]complex128{make([]complex128, 4), make([]complex128, 4)}); err == nil {
+		t.Fatal("antenna count mismatch accepted")
+	}
+	if MRCGainDB(nil) != 0 || MRCGainDB([][]complex128{{}}) != 0 {
+		t.Fatal("degenerate gain not zero")
+	}
+}
+
+func TestMRCDeepFadeProtection(t *testing.T) {
+	// One antenna in a deep fade must not poison the combination.
+	rows := [][]complex128{{1e-6}, {2}}
+	ests := [][]complex128{{complex(1e-6, 0)}, {complex(1, 0)}}
+	out := make([]complex128, 1)
+	if _, err := MRCCombine(out, rows, ests); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(real(out[0])) || math.Abs(real(out[0])-2) > 0.01 {
+		t.Fatalf("deep-fade antenna corrupted MRC: %v", out[0])
+	}
+}

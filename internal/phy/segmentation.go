@@ -1,0 +1,131 @@
+package phy
+
+import (
+	"fmt"
+)
+
+// Code-block segmentation per 36.212 §5.1.2: a transport block whose bits
+// (including the 24-bit TB CRC) exceed the maximum turbo block size 6144 is
+// split into C code blocks, each receiving its own CRC-24B. We use a single
+// block size K for all blocks (the spec allows two adjacent sizes K−/K+ to
+// reduce filler; using only K+ costs a few filler bits and simplifies the
+// pipeline — noted in DESIGN.md §2). Filler bits are prepended to the first
+// block and are known-zero on both sides, so the decoder pins their LLRs.
+
+// Segmentation describes how a transport block maps onto turbo code blocks.
+type Segmentation struct {
+	// B is the total input length in bits (transport block + TB CRC).
+	B int
+	// C is the number of code blocks.
+	C int
+	// K is the turbo block size used for every block.
+	K int
+	// F is the number of filler bits prepended to block 0.
+	F int
+}
+
+// maxSegPayload is the largest per-block payload when block CRCs are needed.
+const maxSegPayload = MaxBlockSize - 24
+
+// Segment computes the segmentation for b input bits (TB + CRC). b must be
+// positive and small enough that at least MinBlockSize applies.
+func Segment(b int) (Segmentation, error) {
+	if b <= 0 {
+		return Segmentation{}, fmt.Errorf("phy: cannot segment %d bits: %w", b, ErrBadParameter)
+	}
+	if b <= MaxBlockSize {
+		k, err := NearestBlockSize(max(b, MinBlockSize))
+		if err != nil {
+			return Segmentation{}, err
+		}
+		return Segmentation{B: b, C: 1, K: k, F: k - b}, nil
+	}
+	c := (b + maxSegPayload - 1) / maxSegPayload
+	bPrime := b + 24*c
+	k, err := NearestBlockSize((bPrime + c - 1) / c)
+	if err != nil {
+		return Segmentation{}, err
+	}
+	return Segmentation{B: b, C: c, K: k, F: c*k - bPrime}, nil
+}
+
+// PayloadBits returns the number of input bits carried by block i
+// (excluding filler and the per-block CRC).
+func (s Segmentation) PayloadBits(i int) int {
+	per := s.K
+	if s.C > 1 {
+		per -= 24
+	}
+	if i == 0 {
+		return per - s.F
+	}
+	return per
+}
+
+// Split writes block i's K bits into dst (length K): filler zeros (block 0
+// only), then payload bits from in, then the CRC-24B when C > 1. in is the
+// full B-bit input.
+func (s Segmentation) Split(dst []byte, in []byte, i int) error {
+	if len(in) != s.B {
+		return fmt.Errorf("phy: segmentation input %d bits, want %d: %w", len(in), s.B, ErrBadParameter)
+	}
+	if len(dst) != s.K {
+		return fmt.Errorf("phy: segmentation block buffer %d bits, want K=%d: %w", len(dst), s.K, ErrBadParameter)
+	}
+	if i < 0 || i >= s.C {
+		return fmt.Errorf("phy: block index %d out of %d: %w", i, s.C, ErrBadParameter)
+	}
+	off := 0
+	for j := 0; j < i; j++ {
+		off += s.PayloadBits(j)
+	}
+	pos := 0
+	if i == 0 {
+		for ; pos < s.F; pos++ {
+			dst[pos] = 0
+		}
+	}
+	n := s.PayloadBits(i)
+	copy(dst[pos:pos+n], in[off:off+n])
+	pos += n
+	if s.C > 1 {
+		c := CRC24B(dst[:pos])
+		for j := crcBits - 1; j >= 0; j-- {
+			dst[pos] = byte((c >> uint(j)) & 1)
+			pos++
+		}
+	}
+	return nil
+}
+
+// Join reassembles the B input bits from decoded blocks. blocks[i] must hold
+// block i's K decoded bits. When C > 1 each block's CRC-24B is verified and
+// a failure returns ErrCRC (wrapped with the block index).
+func (s Segmentation) Join(dst []byte, blocks [][]byte) error {
+	if len(dst) != s.B {
+		return fmt.Errorf("phy: join output %d bits, want %d: %w", len(dst), s.B, ErrBadParameter)
+	}
+	if len(blocks) != s.C {
+		return fmt.Errorf("phy: join got %d blocks, want %d: %w", len(blocks), s.C, ErrBadParameter)
+	}
+	off := 0
+	for i, blk := range blocks {
+		if len(blk) != s.K {
+			return fmt.Errorf("phy: block %d has %d bits, want K=%d: %w", i, len(blk), s.K, ErrBadParameter)
+		}
+		body := blk
+		if s.C > 1 {
+			payload, ok := CheckCRC24B(blk)
+			if !ok {
+				return fmt.Errorf("phy: code block %d: %w", i, ErrCRC)
+			}
+			body = payload
+		}
+		if i == 0 {
+			body = body[s.F:]
+		}
+		copy(dst[off:off+len(body)], body)
+		off += len(body)
+	}
+	return nil
+}

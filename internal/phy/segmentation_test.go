@@ -1,0 +1,136 @@
+package phy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentSingleBlock(t *testing.T) {
+	s, err := Segment(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.C != 1 {
+		t.Fatalf("C=%d, want 1", s.C)
+	}
+	if s.K < 1000 || !IsValidBlockSize(s.K) {
+		t.Fatalf("bad K=%d", s.K)
+	}
+	if s.F != s.K-1000 {
+		t.Fatalf("F=%d, want %d", s.F, s.K-1000)
+	}
+	if s.PayloadBits(0) != 1000 {
+		t.Fatalf("payload %d, want 1000", s.PayloadBits(0))
+	}
+}
+
+func TestSegmentMultiBlock(t *testing.T) {
+	b := 20000
+	s, err := Segment(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.C < 2 {
+		t.Fatalf("C=%d, want ≥ 2", s.C)
+	}
+	total := 0
+	for i := 0; i < s.C; i++ {
+		total += s.PayloadBits(i)
+	}
+	if total != b {
+		t.Fatalf("payload bits sum %d, want %d", total, b)
+	}
+	// Each block must fit: payload + CRC + filler == K.
+	if s.C*s.K != b+24*s.C+s.F {
+		t.Fatalf("accounting broken: C·K=%d, B+24C+F=%d", s.C*s.K, b+24*s.C+s.F)
+	}
+}
+
+func TestSegmentSplitJoinRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 100 + rng.Intn(30000)
+		s, err := Segment(b)
+		if err != nil {
+			return false
+		}
+		in := randBits(rng, b)
+		blocks := make([][]byte, s.C)
+		for i := range blocks {
+			blocks[i] = make([]byte, s.K)
+			if err := s.Split(blocks[i], in, i); err != nil {
+				return false
+			}
+		}
+		out := make([]byte, b)
+		if err := s.Join(out, blocks); err != nil {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentJoinDetectsCorruptBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	b := 20000
+	s, _ := Segment(b)
+	in := randBits(rng, b)
+	blocks := make([][]byte, s.C)
+	for i := range blocks {
+		blocks[i] = make([]byte, s.K)
+		if err := s.Split(blocks[i], in, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks[1][100] ^= 1
+	out := make([]byte, b)
+	err := s.Join(out, blocks)
+	if !errors.Is(err, ErrCRC) {
+		t.Fatalf("corrupt block not detected: %v", err)
+	}
+}
+
+func TestSegmentErrors(t *testing.T) {
+	if _, err := Segment(0); err == nil {
+		t.Fatal("B=0 accepted")
+	}
+	if _, err := Segment(-5); err == nil {
+		t.Fatal("negative B accepted")
+	}
+	s, _ := Segment(100)
+	if err := s.Split(make([]byte, s.K), make([]byte, 99), 0); err == nil {
+		t.Fatal("wrong input size accepted")
+	}
+	if err := s.Split(make([]byte, s.K-1), make([]byte, 100), 0); err == nil {
+		t.Fatal("wrong block buffer accepted")
+	}
+	if err := s.Split(make([]byte, s.K), make([]byte, 100), 1); err == nil {
+		t.Fatal("out-of-range block index accepted")
+	}
+	if err := s.Join(make([]byte, 100), make([][]byte, 2)); err == nil {
+		t.Fatal("wrong block count accepted")
+	}
+}
+
+func TestSegmentTinyBlocksGetMinSize(t *testing.T) {
+	s, err := Segment(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K != MinBlockSize {
+		t.Fatalf("K=%d, want %d", s.K, MinBlockSize)
+	}
+	if s.F != MinBlockSize-8 {
+		t.Fatalf("F=%d", s.F)
+	}
+}

@@ -1,0 +1,355 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TransportProcessor runs the full LTE shared-channel bit chain for one
+// (MCS, PRB-count) configuration:
+//
+//	encode: payload → TB CRC → segmentation → turbo encode → rate match →
+//	        scramble → modulate
+//	decode: LLR demodulate → descramble → soft de-rate-match (with HARQ
+//	        combining) → turbo decode (CRC early stop) → desegment → TB CRC
+//
+// All buffers are allocated at construction, sized for the configuration,
+// and reused, so per-subframe processing performs no heap allocation — the
+// property that keeps Go's GC out of the PHY deadline path (DESIGN.md §2).
+// A TransportProcessor is not safe for concurrent use; the data plane keeps
+// one per (worker, configuration) via a pool.
+type TransportProcessor struct {
+	mcs  MCS
+	nprb int
+	tbs  int // payload bits
+	e    int // total coded bits
+	seg  Segmentation
+
+	enc *TurboEncoder
+	dec *TurboDecoder
+	rm  *RateMatcher
+	scr *Scrambler
+
+	// Preallocated working storage.
+	tbBits   []byte // payload + TB CRC (B bits)
+	blockBuf []byte // one code block (K bits)
+	d0       []byte // turbo output streams (K+4)
+	d1       []byte
+	d2       []byte
+	coded    []byte       // rate-matched coded bits (E)
+	symbols  []complex128 // modulated symbols
+	llr      []float32    // demodulated LLRs (E)
+	softBuf  *SoftBuffer  // default soft buffer when the caller passes nil
+	decBlock []byte       // decoded block bits (K)
+	blocks   [][]byte     // per-block decoded bit slices
+	blockbk  []byte       // backing array for blocks
+	joined   []byte       // reassembled B bits
+
+	// Timings records the stage breakdown of the most recent Encode/Decode.
+	Timings StageTimings
+}
+
+// StageTimings is the per-stage wall-clock breakdown of one subframe's
+// processing, used by experiment E2 and by the cluster cost-model
+// calibration.
+type StageTimings struct {
+	Modulate    time.Duration // encode: modulation (+scrambling)
+	EncodeChain time.Duration // encode: CRC+segmentation+turbo+rate match
+	Demodulate  time.Duration // decode: LLR computation
+	Descramble  time.Duration
+	Dematch     time.Duration // soft de-rate-matching
+	TurboDecode time.Duration
+	CRCCheck    time.Duration // desegmentation + CRC verification
+	// TurboIterations is the total turbo iterations across code blocks.
+	TurboIterations int
+}
+
+// Total returns the decode-side total (the HARQ-deadline-relevant part).
+func (t StageTimings) Total() time.Duration {
+	return t.Demodulate + t.Descramble + t.Dematch + t.TurboDecode + t.CRCCheck
+}
+
+// SoftBuffer holds per-code-block accumulated LLRs across HARQ
+// retransmissions of one transport block.
+type SoftBuffer struct {
+	ld0, ld1, ld2 [][]float32
+}
+
+// NewSoftBuffer allocates a soft buffer matching the processor's
+// segmentation.
+func (p *TransportProcessor) NewSoftBuffer() *SoftBuffer {
+	sb := &SoftBuffer{}
+	d := p.seg.K + 4
+	for i := 0; i < p.seg.C; i++ {
+		sb.ld0 = append(sb.ld0, make([]float32, d))
+		sb.ld1 = append(sb.ld1, make([]float32, d))
+		sb.ld2 = append(sb.ld2, make([]float32, d))
+	}
+	return sb
+}
+
+// Reset zeroes the accumulated LLRs for a fresh transport block.
+func (sb *SoftBuffer) Reset() {
+	for i := range sb.ld0 {
+		for j := range sb.ld0[i] {
+			sb.ld0[i][j] = 0
+			sb.ld1[i][j] = 0
+			sb.ld2[i][j] = 0
+		}
+	}
+}
+
+// Blocks returns the number of code blocks the buffer covers.
+func (sb *SoftBuffer) Blocks() int { return len(sb.ld0) }
+
+// StreamLen returns the per-stream length (K+4), or 0 for an empty buffer.
+func (sb *SoftBuffer) StreamLen() int {
+	if len(sb.ld0) == 0 {
+		return 0
+	}
+	return len(sb.ld0[0])
+}
+
+// MarshalAppend serializes the accumulated LLRs (little-endian float32,
+// streams d0|d1|d2 per block) onto dst — the migration wire format PRAN
+// ships when a cell moves between servers.
+func (sb *SoftBuffer) MarshalAppend(dst []byte) []byte {
+	for i := range sb.ld0 {
+		for _, stream := range [][]float32{sb.ld0[i], sb.ld1[i], sb.ld2[i]} {
+			for _, v := range stream {
+				u := math.Float32bits(v)
+				dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+			}
+		}
+	}
+	return dst
+}
+
+// MarshalledSize returns the byte length MarshalAppend produces.
+func (sb *SoftBuffer) MarshalledSize() int {
+	return sb.Blocks() * 3 * sb.StreamLen() * 4
+}
+
+// Unmarshal restores LLRs serialized by MarshalAppend into this buffer
+// (which must have the same shape) and returns the bytes consumed.
+func (sb *SoftBuffer) Unmarshal(src []byte) (int, error) {
+	need := sb.MarshalledSize()
+	if len(src) < need {
+		return 0, fmt.Errorf("phy: soft buffer needs %d bytes, have %d: %w", need, len(src), ErrTooShort)
+	}
+	pos := 0
+	for i := range sb.ld0 {
+		for _, stream := range [][]float32{sb.ld0[i], sb.ld1[i], sb.ld2[i]} {
+			for j := range stream {
+				u := uint32(src[pos]) | uint32(src[pos+1])<<8 | uint32(src[pos+2])<<16 | uint32(src[pos+3])<<24
+				stream[j] = math.Float32frombits(u)
+				pos += 4
+			}
+		}
+	}
+	return pos, nil
+}
+
+// NewTransportProcessor builds a processor for the given MCS and PRB count.
+func NewTransportProcessor(mcs MCS, nprb int) (*TransportProcessor, error) {
+	tbs, err := mcs.TransportBlockSize(nprb)
+	if err != nil {
+		return nil, err
+	}
+	b := tbs + 24
+	seg, err := Segment(b)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := NewTurboEncoder(seg.K)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := NewTurboDecoder(seg.K)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := NewRateMatcher(seg.K)
+	if err != nil {
+		return nil, err
+	}
+	e := mcs.CodedBits(nprb)
+	p := &TransportProcessor{
+		mcs: mcs, nprb: nprb, tbs: tbs, e: e, seg: seg,
+		enc: enc, dec: dec, rm: rm, scr: NewScrambler(0),
+		tbBits:   make([]byte, b),
+		blockBuf: make([]byte, seg.K),
+		d0:       make([]byte, seg.K+4),
+		d1:       make([]byte, seg.K+4),
+		d2:       make([]byte, seg.K+4),
+		coded:    make([]byte, 0, e),
+		symbols:  make([]complex128, 0, e/mcs.Modulation().BitsPerSymbol()),
+		llr:      make([]float32, 0, e),
+		decBlock: make([]byte, seg.K),
+		joined:   make([]byte, b),
+	}
+	p.blockbk = make([]byte, seg.C*seg.K)
+	for i := 0; i < seg.C; i++ {
+		p.blocks = append(p.blocks, p.blockbk[i*seg.K:(i+1)*seg.K])
+	}
+	p.softBuf = p.NewSoftBuffer()
+	return p, nil
+}
+
+// MCS returns the configured modulation-and-coding scheme.
+func (p *TransportProcessor) MCS() MCS { return p.mcs }
+
+// PRB returns the configured resource-block count.
+func (p *TransportProcessor) PRB() int { return p.nprb }
+
+// TransportBlockSize returns the payload size in bits.
+func (p *TransportProcessor) TransportBlockSize() int { return p.tbs }
+
+// NumCodeBlocks returns the number of turbo code blocks per TB.
+func (p *TransportProcessor) NumCodeBlocks() int { return p.seg.C }
+
+// NumSymbols returns the number of constellation symbols per TB.
+func (p *TransportProcessor) NumSymbols() int {
+	return p.e / p.mcs.Modulation().BitsPerSymbol()
+}
+
+// blockE returns the coded-bit share of block i.
+func (p *TransportProcessor) blockE(i int) int {
+	base := p.e / p.seg.C
+	if i < p.e%p.seg.C {
+		return base + 1
+	}
+	return base
+}
+
+// Encode turns payload (exactly TransportBlockSize bits, one bit per byte)
+// into constellation symbols. The returned slice is owned by the processor
+// and valid until the next Encode call. rv selects the HARQ redundancy
+// version (0 on first transmission).
+func (p *TransportProcessor) Encode(payload []byte, rnti uint16, cellID uint16, subframe uint8, rv int) ([]complex128, error) {
+	if len(payload) != p.tbs {
+		return nil, fmt.Errorf("phy: payload %d bits, want TBS=%d: %w", len(payload), p.tbs, ErrBadParameter)
+	}
+	start := time.Now()
+	// TB CRC.
+	copy(p.tbBits, payload)
+	c := CRC24A(payload)
+	for j := 0; j < 24; j++ {
+		p.tbBits[p.tbs+j] = byte((c >> uint(23-j)) & 1)
+	}
+	// Segment, turbo-encode, and rate-match each block.
+	p.coded = p.coded[:0]
+	for i := 0; i < p.seg.C; i++ {
+		if err := p.seg.Split(p.blockBuf, p.tbBits, i); err != nil {
+			return nil, err
+		}
+		if err := p.enc.Encode(p.d0, p.d1, p.d2, p.blockBuf); err != nil {
+			return nil, err
+		}
+		var err error
+		p.coded, err = p.rm.Match(p.coded, p.d0, p.d1, p.d2, p.blockE(i), rv)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.Timings.EncodeChain = time.Since(start)
+
+	start = time.Now()
+	// Scramble and modulate.
+	p.scr.Reinit(ScramblerInit(rnti, cellID, subframe))
+	p.scr.Scramble(p.coded)
+	p.symbols = p.symbols[:0]
+	var err error
+	p.symbols, err = Modulate(p.symbols, p.coded, p.mcs.Modulation())
+	if err != nil {
+		return nil, err
+	}
+	p.Timings.Modulate = time.Since(start)
+	return p.symbols, nil
+}
+
+// Decode recovers the payload from received symbols under noise power n0.
+// sb, when non-nil, supplies HARQ soft-combining state: callers Reset it for
+// a new TB and reuse it across retransmissions (passing the matching rv).
+// When sb is nil a fresh internal buffer is used. On success the returned
+// slice (owned by the processor, valid until next Decode) holds the payload
+// bits; a CRC failure returns ErrCRC.
+func (p *TransportProcessor) Decode(rx []complex128, n0 float64, rnti uint16, cellID uint16, subframe uint8, rv int, sb *SoftBuffer) ([]byte, error) {
+	if len(rx) != p.NumSymbols() {
+		return nil, fmt.Errorf("phy: got %d symbols, want %d: %w", len(rx), p.NumSymbols(), ErrBadParameter)
+	}
+	if sb == nil {
+		sb = p.softBuf
+		sb.Reset()
+	}
+	// Demodulate to LLRs.
+	start := time.Now()
+	p.llr = p.llr[:0]
+	var err error
+	p.llr, err = Demodulate(p.llr, rx, p.mcs.Modulation(), n0)
+	if err != nil {
+		return nil, err
+	}
+	p.Timings.Demodulate = time.Since(start)
+
+	// Descramble.
+	start = time.Now()
+	p.scr.Reinit(ScramblerInit(rnti, cellID, subframe))
+	p.scr.DescrambleLLR(p.llr)
+	p.Timings.Descramble = time.Since(start)
+
+	// De-rate-match per block, accumulating into the soft buffer.
+	start = time.Now()
+	off := 0
+	for i := 0; i < p.seg.C; i++ {
+		e := p.blockE(i)
+		if err := p.rm.SoftDematch(sb.ld0[i], sb.ld1[i], sb.ld2[i], p.llr[off:off+e], rv); err != nil {
+			return nil, err
+		}
+		off += e
+	}
+	// Pin filler bits (known zeros at the head of block 0).
+	const fillerLLR = 1e4
+	for j := 0; j < p.seg.F; j++ {
+		sb.ld0[0][j] = fillerLLR
+	}
+	p.Timings.Dematch = time.Since(start)
+
+	// Turbo decode each block with CRC-based early termination.
+	start = time.Now()
+	p.Timings.TurboIterations = 0
+	useBlockCRC := p.seg.C > 1
+	for i := 0; i < p.seg.C; i++ {
+		if useBlockCRC {
+			p.dec.EarlyCheck = func(bits []byte) bool {
+				_, ok := CheckCRC24B(bits)
+				return ok
+			}
+		} else {
+			p.dec.EarlyCheck = func(bits []byte) bool {
+				_, ok := CheckCRC24A(bits)
+				return ok
+			}
+		}
+		iters, err := p.dec.Decode(p.blocks[i], sb.ld0[i], sb.ld1[i], sb.ld2[i])
+		if err != nil {
+			return nil, err
+		}
+		p.Timings.TurboIterations += iters
+	}
+	p.Timings.TurboDecode = time.Since(start)
+
+	// Desegment and verify the TB CRC.
+	start = time.Now()
+	if err := p.seg.Join(p.joined, p.blocks); err != nil {
+		p.Timings.CRCCheck = time.Since(start)
+		return nil, err
+	}
+	payload, ok := CheckCRC24A(p.joined)
+	p.Timings.CRCCheck = time.Since(start)
+	if !ok {
+		return nil, fmt.Errorf("phy: transport block: %w", ErrCRC)
+	}
+	return payload, nil
+}

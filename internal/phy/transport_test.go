@@ -1,0 +1,226 @@
+package phy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func roundtripOnce(t *testing.T, mcs MCS, nprb int, snrDB float64, seed int64) error {
+	t.Helper()
+	p, err := NewTransportProcessor(mcs, nprb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	payload := randBits(rng, p.TransportBlockSize())
+	syms, err := p.Encode(payload, 17, 101, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := append([]complex128(nil), syms...)
+	ch := NewAWGNChannel(snrDB, seed)
+	ch.Apply(rx)
+	out, err := p.Decode(rx, ch.N0(), 17, 101, 4, 0, nil)
+	if err != nil {
+		return err
+	}
+	for i := range payload {
+		if out[i] != payload[i] {
+			t.Fatalf("MCS %d nprb=%d: payload mismatch at %d", mcs, nprb, i)
+		}
+	}
+	return nil
+}
+
+func TestTransportRoundtripAcrossMCS(t *testing.T) {
+	// At 3 dB above each MCS's operating point the decode must succeed.
+	grid := []MCS{0, 4, 9, 13, 17, 22, 28}
+	if testing.Short() {
+		grid = []MCS{0, 13, 28}
+	}
+	for _, mcs := range grid {
+		for _, nprb := range []int{4, 25, 100} {
+			if err := roundtripOnce(t, mcs, nprb, mcs.OperatingSNR()+3, int64(mcs)*1000+int64(nprb)); err != nil {
+				t.Fatalf("MCS %d nprb=%d at op+3dB: %v", mcs, nprb, err)
+			}
+		}
+	}
+}
+
+func TestTransportFailsAtVeryLowSNR(t *testing.T) {
+	// 15 dB below the operating point the CRC must fail (and be reported).
+	err := roundtripOnce(t, 22, 50, MCS(22).OperatingSNR()-15, 77)
+	if !errors.Is(err, ErrCRC) {
+		t.Fatalf("expected CRC failure, got %v", err)
+	}
+}
+
+func TestTransportWrongScramblingFails(t *testing.T) {
+	// Decoding with the wrong RNTI must descramble garbage and fail CRC.
+	p, err := NewTransportProcessor(10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(60))
+	payload := randBits(rng, p.TransportBlockSize())
+	syms, err := p.Encode(payload, 17, 101, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := append([]complex128(nil), syms...)
+	if _, err := p.Decode(rx, 0.01, 18, 101, 4, 0, nil); !errors.Is(err, ErrCRC) {
+		t.Fatalf("wrong RNTI decoded successfully: %v", err)
+	}
+}
+
+func TestTransportHARQCombining(t *testing.T) {
+	// At an SNR where a single transmission fails, chase-combining two
+	// transmissions (rv 0 then 2) through a shared soft buffer must succeed.
+	const mcs, nprb = 17, 50
+	p, err := NewTransportProcessor(mcs, nprb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	payload := randBits(rng, p.TransportBlockSize())
+
+	snr := MCS(mcs).OperatingSNR() - 2.5 // first TX should usually fail
+	ch := NewAWGNChannel(snr, 62)
+	sb := p.NewSoftBuffer()
+	sb.Reset()
+
+	syms, err := p.Encode(payload, 5, 7, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := append([]complex128(nil), syms...)
+	ch.Apply(rx)
+	_, err1 := p.Decode(rx, ch.N0(), 5, 7, 0, 0, sb)
+
+	syms2, err := p.Encode(payload, 5, 7, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx2 := append([]complex128(nil), syms2...)
+	ch.Apply(rx2)
+	out, err2 := p.Decode(rx2, ch.N0(), 5, 7, 0, 2, sb)
+	if err2 != nil {
+		t.Fatalf("combined decode failed (first TX err=%v): %v", err1, err2)
+	}
+	for i := range payload {
+		if out[i] != payload[i] {
+			t.Fatalf("combined payload mismatch at %d", i)
+		}
+	}
+}
+
+func TestTransportTimingsPopulated(t *testing.T) {
+	p, err := NewTransportProcessor(20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(63))
+	payload := randBits(rng, p.TransportBlockSize())
+	syms, err := p.Encode(payload, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Timings.EncodeChain <= 0 || p.Timings.Modulate <= 0 {
+		t.Fatal("encode timings not recorded")
+	}
+	rx := append([]complex128(nil), syms...)
+	ch := NewAWGNChannel(MCS(20).OperatingSNR()+3, 64)
+	ch.Apply(rx)
+	if _, err := p.Decode(rx, ch.N0(), 1, 1, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	tm := p.Timings
+	if tm.Demodulate <= 0 || tm.TurboDecode <= 0 || tm.Total() <= 0 {
+		t.Fatalf("decode timings not recorded: %+v", tm)
+	}
+	if tm.TurboIterations < p.NumCodeBlocks() {
+		t.Fatalf("turbo iterations %d below block count %d", tm.TurboIterations, p.NumCodeBlocks())
+	}
+}
+
+func TestTransportMultiBlockSegmentation(t *testing.T) {
+	// High MCS at 100 PRB forces multiple code blocks.
+	p, err := NewTransportProcessor(28, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCodeBlocks() < 2 {
+		t.Fatalf("expected multi-block TB, got C=%d", p.NumCodeBlocks())
+	}
+	if err := roundtripOnce(t, 28, 100, MCS(28).OperatingSNR()+4, 65); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportBadInputs(t *testing.T) {
+	p, _ := NewTransportProcessor(5, 10)
+	if _, err := p.Encode(make([]byte, 3), 0, 0, 0, 0); err == nil {
+		t.Fatal("wrong payload size accepted")
+	}
+	if _, err := p.Decode(make([]complex128, 3), 0.1, 0, 0, 0, 0, nil); err == nil {
+		t.Fatal("wrong symbol count accepted")
+	}
+	if _, err := NewTransportProcessor(35, 10); err == nil {
+		t.Fatal("invalid MCS accepted")
+	}
+	if _, err := NewTransportProcessor(5, 0); err == nil {
+		t.Fatal("invalid PRB accepted")
+	}
+}
+
+func TestTransportDecodeNoAlloc(t *testing.T) {
+	// The full receive chain (demod → descramble → dematch → turbo → CRC)
+	// must be allocation-free in steady state — the GC-vs-deadline
+	// mitigation DESIGN.md §2 commits to.
+	p, err := NewTransportProcessor(16, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(90))
+	payload := randBits(rng, p.TransportBlockSize())
+	syms, err := p.Encode(payload, 3, 9, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := append([]complex128(nil), syms...)
+	ch := NewAWGNChannel(MCS(16).OperatingSNR()+3, 91)
+	ch.Apply(rx)
+	// Warm (grows the scrambler keystream buffer once).
+	if _, err := p.Decode(rx, ch.N0(), 3, 9, 4, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := p.Decode(rx, ch.N0(), 3, 9, 4, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Decode allocates %v times per subframe", allocs)
+	}
+}
+
+func TestTransportEncodeIdempotentAcrossCalls(t *testing.T) {
+	p, _ := NewTransportProcessor(12, 20)
+	rng := rand.New(rand.NewSource(66))
+	payload := randBits(rng, p.TransportBlockSize())
+	a, err := p.Encode(payload, 9, 9, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := append([]complex128(nil), a...)
+	b, err := p.Encode(payload, 9, 9, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if b[i] != first[i] {
+			t.Fatalf("encode not reproducible at symbol %d", i)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package ranapi
+
+import (
+	"sort"
+	"sync"
+
+	"pran/internal/frame"
+)
+
+// PFSchedulerProgram implements proportional-fair downsizing as a RAN
+// program — the paper's second flagship programmability example (custom
+// schedulers as pool software rather than base-station firmware). When a
+// subframe's scheduled PRBs exceed the configured capacity (for instance
+// because the pool is compute-constrained and the controller asked cells to
+// shed load), the program keeps the allocations with the highest
+// proportional-fair metric — instantaneous achievable rate divided by the
+// UE's smoothed served throughput — instead of dropping arbitrarily.
+//
+// UEs that keep getting dropped therefore accumulate low smoothed
+// throughput and rise in priority until they are served: the classic PF
+// fairness property, checked by the Jain-index test.
+type PFSchedulerProgram struct {
+	// CapacityPRB is the per-subframe PRB budget enforced.
+	CapacityPRB int
+	// Alpha is the served-throughput EWMA gain (default 0.05).
+	Alpha float64
+
+	mu     sync.Mutex
+	served map[frame.RNTI]float64 // smoothed served bits/TTI
+	shed   uint64
+}
+
+// NewPFSchedulerProgram returns a PF scheduler with the given PRB budget.
+func NewPFSchedulerProgram(capacityPRB int) *PFSchedulerProgram {
+	return &PFSchedulerProgram{
+		CapacityPRB: capacityPRB,
+		Alpha:       0.05,
+		served:      make(map[frame.RNTI]float64),
+	}
+}
+
+// Name implements Program.
+func (p *PFSchedulerProgram) Name() string { return "pf-scheduler" }
+
+// OnObservation implements Program (no-op; the program updates its own
+// state in OnSubframe).
+func (p *PFSchedulerProgram) OnObservation(Observation) {}
+
+// Shed reports how many allocations have been dropped so far.
+func (p *PFSchedulerProgram) Shed() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shed
+}
+
+// ServedThroughput returns a UE's smoothed served bits/TTI.
+func (p *PFSchedulerProgram) ServedThroughput(rnti frame.RNTI) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.served[rnti]
+}
+
+// OnSubframe keeps the highest-PF-metric allocations within the budget and
+// updates every scheduled UE's served-throughput average.
+func (p *PFSchedulerProgram) OnSubframe(w frame.SubframeWork) frame.SubframeWork {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	type cand struct {
+		alloc  frame.Allocation
+		bits   float64
+		metric float64
+	}
+	cands := make([]cand, 0, len(w.Allocations))
+	for _, a := range w.Allocations {
+		tbs, err := a.TransportBlockSize()
+		if err != nil {
+			continue
+		}
+		bits := float64(tbs)
+		avg := p.served[a.RNTI]
+		const floor = 1 // bits; keeps never-served UEs at maximal priority
+		cands = append(cands, cand{alloc: a, bits: bits, metric: bits / (avg + floor)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].metric > cands[j].metric })
+
+	out := w
+	out.Allocations = nil
+	used := 0
+	scheduled := make(map[frame.RNTI]float64, len(cands))
+	for _, c := range cands {
+		if used+c.alloc.NumPRB > p.CapacityPRB {
+			p.shed++
+			continue
+		}
+		used += c.alloc.NumPRB
+		out.Allocations = append(out.Allocations, c.alloc)
+		scheduled[c.alloc.RNTI] += c.bits
+	}
+	// EWMA update: every known UE decays; scheduled ones add their grant.
+	for rnti := range p.served {
+		p.served[rnti] *= 1 - p.Alpha
+	}
+	for rnti, bits := range scheduled {
+		p.served[rnti] += p.Alpha * bits
+	}
+	// Track UEs we saw for the first time even if unscheduled, so they age
+	// into the fairness state.
+	for _, c := range cands {
+		if _, ok := p.served[c.alloc.RNTI]; !ok {
+			p.served[c.alloc.RNTI] = 0
+		}
+	}
+	return out
+}
+
+// greedyThroughputKeep is the baseline the PF test compares against: keep
+// the largest allocations first (maximizes cell throughput, starves the
+// weak). Exported for the ablation test and the programmability example.
+type GreedyThroughputProgram struct {
+	// CapacityPRB is the per-subframe PRB budget enforced.
+	CapacityPRB int
+	mu          sync.Mutex
+	shed        uint64
+}
+
+// NewGreedyThroughputProgram returns the throughput-greedy baseline.
+func NewGreedyThroughputProgram(capacityPRB int) *GreedyThroughputProgram {
+	return &GreedyThroughputProgram{CapacityPRB: capacityPRB}
+}
+
+// Name implements Program.
+func (g *GreedyThroughputProgram) Name() string { return "greedy-throughput" }
+
+// OnObservation implements Program (no-op).
+func (g *GreedyThroughputProgram) OnObservation(Observation) {}
+
+// Shed reports dropped allocations.
+func (g *GreedyThroughputProgram) Shed() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.shed
+}
+
+// OnSubframe keeps the highest-TBS allocations within the budget.
+func (g *GreedyThroughputProgram) OnSubframe(w frame.SubframeWork) frame.SubframeWork {
+	type cand struct {
+		alloc frame.Allocation
+		bits  int
+	}
+	cands := make([]cand, 0, len(w.Allocations))
+	for _, a := range w.Allocations {
+		tbs, err := a.TransportBlockSize()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{a, tbs})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].bits > cands[j].bits })
+	out := w
+	out.Allocations = nil
+	used := 0
+	var shed uint64
+	for _, c := range cands {
+		if used+c.alloc.NumPRB > g.CapacityPRB {
+			shed++
+			continue
+		}
+		used += c.alloc.NumPRB
+		out.Allocations = append(out.Allocations, c.alloc)
+	}
+	if shed > 0 {
+		g.mu.Lock()
+		g.shed += shed
+		g.mu.Unlock()
+	}
+	return out
+}
+
+// ThroughputShare computes each UE's share of total served bits over a run,
+// for fairness comparison (feed with per-TTI outputs).
+func ThroughputShare(served map[frame.RNTI]float64) []float64 {
+	keys := make([]frame.RNTI, 0, len(served))
+	for k := range served {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]float64, len(keys))
+	for i, k := range keys {
+		out[i] = served[k]
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+// Package traffic synthesizes the cellular workload PRAN's evaluation is
+// driven by. The original paper used operator traces; those are proprietary,
+// so this package reproduces their published statistical structure instead
+// (DESIGN.md §2): strong diurnal swings, class-dependent peak hours (office
+// cells peak mid-day, residential cells in the evening), peak-to-mean ratios
+// of roughly 2–5×, and short-timescale burstiness.
+//
+// Two granularities share one set of shape functions:
+//
+//   - DayTrace produces second-scale utilization curves for the day-long
+//     pooling experiments (E3, E4).
+//   - Generator produces per-TTI UE allocations (PRBs + MCS) that feed the
+//     real data plane in the deadline experiments (E5, E6).
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pran/internal/phy"
+)
+
+// Class labels a cell's dominant usage pattern, which fixes its diurnal
+// shape. Spatially mixing classes is what creates the statistical
+// multiplexing PRAN pools across.
+type Class int
+
+// Supported cell classes.
+const (
+	// Office cells peak during working hours and idle at night.
+	Office Class = iota
+	// Residential cells peak in the evening.
+	Residential
+	// Mixed cells blend both with a flatter profile.
+	Mixed
+	// Transport cells (commuter corridors) spike at rush hours.
+	Transport
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Office:
+		return "office"
+	case Residential:
+		return "residential"
+	case Mixed:
+		return "mixed"
+	case Transport:
+		return "transport"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// gauss is an unnormalized Gaussian bump centred at c hours with width w
+// hours, evaluated with 24 h wraparound.
+func gauss(tod, c, w float64) float64 {
+	d := math.Mod(tod-c+36, 24) - 12
+	return math.Exp(-d * d / (2 * w * w))
+}
+
+// Shape returns the class's normalized diurnal load shape at time-of-day
+// tod (hours, [0,24)). The value is in (0, 1] with the daily peak at 1;
+// every class keeps a small overnight floor (signalling, background sync).
+func (c Class) Shape(tod float64) float64 {
+	const floor = 0.08
+	var v float64
+	switch c {
+	case Office:
+		v = 0.85*gauss(tod, 11, 2.6) + 0.75*gauss(tod, 15, 2.4)
+	case Residential:
+		v = 0.55*gauss(tod, 8, 1.8) + 0.95*gauss(tod, 20.5, 2.8)
+	case Mixed:
+		v = 0.6*gauss(tod, 12, 4.5) + 0.7*gauss(tod, 19.5, 3.2)
+	case Transport:
+		v = 0.95*gauss(tod, 8.2, 1.1) + 0.95*gauss(tod, 17.8, 1.3) + 0.25*gauss(tod, 13, 3)
+	default:
+		v = 0.5
+	}
+	if v > 1 {
+		v = 1
+	}
+	return floor + (1-floor)*v
+}
+
+// PeakHour returns the hour (0–24) at which the class's shape peaks,
+// located by scanning at minute resolution.
+func (c Class) PeakHour() float64 {
+	best, bestV := 0.0, -1.0
+	for m := 0; m < 24*60; m++ {
+		tod := float64(m) / 60
+		if v := c.Shape(tod); v > bestV {
+			bestV, best = v, tod
+		}
+	}
+	return best
+}
+
+// CellProfile parameterizes one cell's workload.
+type CellProfile struct {
+	// Class selects the diurnal shape.
+	Class Class
+	// PeakUtilization is the cell's PRB utilization at its daily peak
+	// (0–1]. Values near 1 model busy urban cells.
+	PeakUtilization float64
+	// SNRMeanDB and SNRStdDB describe the cell's UE SNR distribution,
+	// which determines the MCS mix and hence per-bit compute cost.
+	SNRMeanDB float64
+	// SNRStdDB is the standard deviation of UE SNR in dB.
+	SNRStdDB float64
+	// MeanUEsAtPeak is the average number of simultaneously scheduled UEs
+	// per subframe at peak load.
+	MeanUEsAtPeak float64
+}
+
+// Validate checks the profile.
+func (p CellProfile) Validate() error {
+	if p.PeakUtilization <= 0 || p.PeakUtilization > 1 {
+		return fmt.Errorf("traffic: peak utilization %v outside (0,1]: %w", p.PeakUtilization, phy.ErrBadParameter)
+	}
+	if p.SNRStdDB < 0 {
+		return fmt.Errorf("traffic: negative SNR std: %w", phy.ErrBadParameter)
+	}
+	if p.MeanUEsAtPeak <= 0 {
+		return fmt.Errorf("traffic: MeanUEsAtPeak %v must be positive: %w", p.MeanUEsAtPeak, phy.ErrBadParameter)
+	}
+	return nil
+}
+
+// DefaultProfile returns a representative profile for the class, following
+// the urban-deployment parameters in DESIGN.md (peak utilization 0.7–0.95,
+// median SNR ~12 dB).
+func DefaultProfile(c Class) CellProfile {
+	switch c {
+	case Office:
+		return CellProfile{Class: c, PeakUtilization: 0.95, SNRMeanDB: 14, SNRStdDB: 5, MeanUEsAtPeak: 9}
+	case Residential:
+		return CellProfile{Class: c, PeakUtilization: 0.85, SNRMeanDB: 11, SNRStdDB: 6, MeanUEsAtPeak: 7}
+	case Transport:
+		return CellProfile{Class: c, PeakUtilization: 0.90, SNRMeanDB: 9, SNRStdDB: 6, MeanUEsAtPeak: 11}
+	default:
+		return CellProfile{Class: Mixed, PeakUtilization: 0.80, SNRMeanDB: 12, SNRStdDB: 5, MeanUEsAtPeak: 8}
+	}
+}
+
+// DayTrace samples a cell's expected PRB utilization every stepSeconds over
+// 24 h, multiplying the diurnal shape by AR(1) burstiness (correlation ~30 s)
+// and clamping to [0, 1]. The same seed reproduces the same trace.
+func DayTrace(p CellProfile, seed int64, stepSeconds float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if stepSeconds <= 0 {
+		return nil, fmt.Errorf("traffic: step %v: %w", stepSeconds, phy.ErrBadParameter)
+	}
+	n := int(24 * 3600 / stepSeconds)
+	rng := rand.New(rand.NewSource(seed))
+	// AR(1) with 30 s correlation time and ±20% relative swing.
+	rho := math.Exp(-stepSeconds / 30)
+	sigma := 0.20 * math.Sqrt(1-rho*rho)
+	ar := 0.0
+	out := make([]float64, n)
+	for i := range out {
+		tod := float64(i) * stepSeconds / 3600
+		ar = rho*ar + sigma*rng.NormFloat64()
+		u := p.PeakUtilization * p.Class.Shape(tod) * (1 + ar)
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		out[i] = u
+	}
+	return out, nil
+}
+
+// PeakToMean returns the peak-to-mean ratio of a utilization trace.
+func PeakToMean(trace []float64) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	peak, sum := 0.0, 0.0
+	for _, v := range trace {
+		if v > peak {
+			peak = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	return peak / (sum / float64(len(trace)))
+}
+
+// StandardMix assigns classes to n cells in the documented urban proportions
+// (30% office, 40% residential, 20% mixed, 10% transport), deterministically
+// interleaved so any prefix approximates the mix.
+func StandardMix(n int) []Class {
+	weights := []struct {
+		c Class
+		w int
+	}{{Office, 3}, {Residential, 4}, {Mixed, 2}, {Transport, 1}}
+	var cycle []Class
+	for _, e := range weights {
+		for i := 0; i < e.w; i++ {
+			cycle = append(cycle, e.c)
+		}
+	}
+	out := make([]Class, n)
+	for i := range out {
+		out[i] = cycle[i%len(cycle)]
+	}
+	return out
+}
