@@ -87,3 +87,11 @@ func BenchmarkE9_Controller(b *testing.B) {
 func BenchmarkE10_HeadroomAblation(b *testing.B) {
 	report(b, experiments.E10HeadroomAblation)
 }
+
+// BenchmarkE11_ParallelSpeedup regenerates the intra-subframe parallel
+// decode sweep: measured speedup vs workers and the modelled
+// deadline-feasibility frontier. The measured speedup saturates at
+// GOMAXPROCS, so the headline ratios need a multi-core host.
+func BenchmarkE11_ParallelSpeedup(b *testing.B) {
+	report(b, experiments.E11ParallelSpeedup)
+}

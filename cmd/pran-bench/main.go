@@ -1,5 +1,5 @@
 // Command pran-bench regenerates the PRAN evaluation: every reconstructed
-// table and figure (E1–E10, indexed in DESIGN.md §4) as printable tables.
+// table and figure (E1–E11, indexed in DESIGN.md §4) as printable tables.
 //
 // Usage:
 //
@@ -20,7 +20,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
-	run := flag.String("run", "", "run a single experiment by ID (E1..E10)")
+	run := flag.String("run", "", "run a single experiment by ID (E1..E11)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -38,6 +38,7 @@ func main() {
 		{"E8", experiments.E8Failover},
 		{"E9", experiments.E9Controller},
 		{"E10", experiments.E10HeadroomAblation},
+		{"E11", experiments.E11ParallelSpeedup},
 	}
 
 	if *list {
@@ -48,10 +49,12 @@ func main() {
 	}
 
 	failed := false
+	matched := false
 	for _, e := range table {
 		if *run != "" && !strings.EqualFold(*run, e.id) {
 			continue
 		}
+		matched = true
 		res, err := e.fn(*quick)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
@@ -59,6 +62,10 @@ func main() {
 			continue
 		}
 		fmt.Println(res.String())
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *run)
+		os.Exit(2)
 	}
 	if failed {
 		os.Exit(1)

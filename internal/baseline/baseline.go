@@ -14,6 +14,10 @@
 // All functions consume per-cell compute-demand traces in reference-core
 // fractions (internal/cluster.CostModel.UtilizationDemand over
 // internal/traffic.DayTrace samples).
+//
+// Concurrency: the package is purely functional — every entry point reads
+// its inputs and returns fresh values, holding no package state, so callers
+// may invoke any function from any number of goroutines concurrently.
 package baseline
 
 import (

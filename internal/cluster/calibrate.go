@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"pran/internal/phy"
@@ -192,6 +193,28 @@ func Calibrate() (CostModel, error) {
 			}
 		}
 		m.EncodePerBit = time.Since(start).Seconds() / float64(reps) / float64(p.TransportBlockSize())
+	}
+
+	// Parallel dispatch overhead: the wake-and-join round trip through a
+	// resident goroutine, which is what handing a code block to a
+	// phy.ParallelDecoder worker costs on top of the decode itself.
+	{
+		work := make(chan struct{})
+		var wg sync.WaitGroup
+		go func() {
+			for range work {
+				wg.Done()
+			}
+		}()
+		const reps = 2000
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			wg.Add(1)
+			work <- struct{}{}
+			wg.Wait()
+		}
+		close(work)
+		m.DispatchPerBlock = time.Since(start).Seconds() / reps
 	}
 
 	if err := m.Validate(); err != nil {

@@ -8,6 +8,13 @@
 // actual Go implementations (FFT, demodulation, turbo decoding, …) on the
 // host at startup, so simulated costs track what the measured data plane
 // would do on the same machine, keeping the experiment shapes transferable.
+//
+// Concurrency: CostModel is an immutable value after construction — its
+// cost queries (AllocCost, AllocCostWorkers, SubframeCost, …) are pure and
+// safe to call concurrently. Server and Cluster are plain mutable state
+// owned by whoever constructs them (in practice the controller's single
+// goroutine); they perform no internal locking. Calibrate runs measured
+// loops on the calling goroutine and should not race other CPU-heavy work.
 package cluster
 
 import (
@@ -42,6 +49,11 @@ type CostModel struct {
 	CRCPerBit float64
 	// EncodePerBit is the downlink encode-chain cost per information bit.
 	EncodePerBit float64
+	// DispatchPerBlock is the synchronization cost of handing one code
+	// block to a parallel decode worker (wake + join through the resident
+	// goroutines of phy.ParallelDecoder). It only applies when a subframe's
+	// service time is computed at parallelism > 1 (AllocCostWorkers).
+	DispatchPerBlock float64
 }
 
 // DefaultCostModel returns coefficients representative of a ~3 GHz x86 core
@@ -58,6 +70,7 @@ func DefaultCostModel() CostModel {
 		TurboPerBitIter:  28e-9,
 		CRCPerBit:        0.8e-9,
 		EncodePerBit:     12e-9,
+		DispatchPerBlock: 300e-9,
 	}
 }
 
@@ -66,6 +79,7 @@ func (m CostModel) Validate() error {
 	for _, v := range []float64{
 		m.FFTPerButterfly, m.DemodPerREQPSK, m.DemodPerRE16QAM, m.DemodPerRE64QAM,
 		m.DescramblePerBit, m.DematchPerBit, m.TurboPerBitIter, m.CRCPerBit, m.EncodePerBit,
+		m.DispatchPerBlock,
 	} {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("cluster: non-positive cost coefficient: %w", phy.ErrBadParameter)
@@ -130,6 +144,58 @@ func (m CostModel) AllocCost(a frame.Allocation) time.Duration {
 		infoBits*iters*m.TurboPerBitIter +
 		infoBits*m.CRCPerBit
 	return time.Duration(sec * float64(time.Second))
+}
+
+// AllocCostWorkers returns the uplink *service time* of one UE allocation
+// when its turbo decode fans across workers parallel decoders (the knob
+// dataplane.Config.DecodeWorkers sets). Only the turbo stage parallelizes —
+// demodulation, descrambling, de-rate-matching and CRC stay serial on the
+// owning worker — and the fan-out is block-granular, so the turbo makespan
+// is ceil(C/effective) block times plus a per-handoff dispatch cost. With
+// workers=1 this equals AllocCost. Note this is latency, not compute: total
+// core-seconds consumed only grow (by the dispatch overhead); what shrinks
+// is the time-to-deadline, which is what HARQ feasibility is about.
+func (m CostModel) AllocCostWorkers(a frame.Allocation, workers int) time.Duration {
+	if workers <= 1 {
+		return m.AllocCost(a)
+	}
+	tbs, err := a.MCS.TransportBlockSize(a.NumPRB)
+	if err != nil {
+		return 0
+	}
+	seg, err := phy.Segment(tbs + 24)
+	if err != nil {
+		return 0
+	}
+	res := float64(a.NumPRB * phy.DataREsPerPRB)
+	qm := float64(a.MCS.Modulation().BitsPerSymbol())
+	codedBits := res * qm
+	infoBits := float64(tbs + 24)
+	iters := ExpectedTurboIterations(a.MCS, a.SNRdB)
+	serial := res*m.demodPerRE(a.MCS.Modulation()) +
+		codedBits*(m.DescramblePerBit+m.DematchPerBit) +
+		infoBits*m.CRCPerBit
+	turbo := infoBits * iters * m.TurboPerBitIter
+	eff := workers
+	if seg.C < eff {
+		eff = seg.C
+	}
+	batches := (seg.C + eff - 1) / eff
+	perBlock := turbo / float64(seg.C)
+	sec := serial + perBlock*float64(batches) + m.DispatchPerBlock*float64(eff-1)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// SubframeCostWorkers returns the uplink service time of one cell subframe
+// at the given intra-task parallelism: cell overhead (serial) plus every
+// allocation's parallel service time. It is the provisioning-side mirror of
+// running the pool with DecodeWorkers=workers.
+func (m CostModel) SubframeCostWorkers(w frame.SubframeWork, bw phy.Bandwidth, antennas, workers int) time.Duration {
+	total := m.CellOverhead(bw, antennas)
+	for _, a := range w.Allocations {
+		total += m.AllocCostWorkers(a, workers)
+	}
+	return total
 }
 
 // SubframeCost returns the total uplink cost of one cell subframe: cell

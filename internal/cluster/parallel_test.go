@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"pran/internal/frame"
+	"pran/internal/phy"
+)
+
+func TestAllocCostWorkersMatchesSerialAtOne(t *testing.T) {
+	m := DefaultCostModel()
+	a := frame.Allocation{RNTI: 1, NumPRB: 100, MCS: 28, SNRdB: phy.MCS(28).OperatingSNR() + 2}
+	if got, want := m.AllocCostWorkers(a, 1), m.AllocCost(a); got != want {
+		t.Fatalf("workers=1 cost %v != serial %v", got, want)
+	}
+}
+
+func TestAllocCostWorkersShrinksServiceTime(t *testing.T) {
+	// A high-MCS wide-band TB segments into ~13 code blocks, so service
+	// time must drop substantially up to that parallelism and then flatten.
+	m := DefaultCostModel()
+	a := frame.Allocation{RNTI: 1, NumPRB: 100, MCS: 28, SNRdB: phy.MCS(28).OperatingSNR() + 2}
+	serial := m.AllocCost(a)
+	prev := serial + time.Hour
+	for _, w := range []int{1, 2, 4, 8} {
+		c := m.AllocCostWorkers(a, w)
+		if c >= prev {
+			t.Fatalf("service time not decreasing at %d workers: %v >= %v", w, c, prev)
+		}
+		prev = c
+	}
+	if four := m.AllocCostWorkers(a, 4); float64(serial)/float64(four) < 1.5 {
+		t.Fatalf("modelled speedup at 4 workers %v → %v is below 1.5×", serial, four)
+	}
+}
+
+func TestAllocCostWorkersBoundedByBlocks(t *testing.T) {
+	// A narrow allocation is a single code block: extra workers must not
+	// reduce its cost below serial (they only add dispatch overhead — and
+	// the decoder wakes no helpers when C=1, so not even that).
+	m := DefaultCostModel()
+	a := frame.Allocation{RNTI: 1, NumPRB: 4, MCS: 10, SNRdB: phy.MCS(10).OperatingSNR() + 2}
+	serial := m.AllocCost(a)
+	if c := m.AllocCostWorkers(a, 8); c < serial {
+		t.Fatalf("single-block cost %v dropped below serial %v", c, serial)
+	}
+}
+
+func TestSubframeCostWorkers(t *testing.T) {
+	m := DefaultCostModel()
+	w := frame.SubframeWork{
+		Cell: 1, TTI: 0,
+		Allocations: []frame.Allocation{
+			{RNTI: 1, NumPRB: 100, MCS: 28, SNRdB: phy.MCS(28).OperatingSNR() + 2},
+		},
+	}
+	serial := m.SubframeCost(w, phy.BW20MHz, 2)
+	par := m.SubframeCostWorkers(w, phy.BW20MHz, 2, 4)
+	if par >= serial {
+		t.Fatalf("parallel subframe service time %v not below serial %v", par, serial)
+	}
+	if par <= m.CellOverhead(phy.BW20MHz, 2) {
+		t.Fatal("parallel cost lost the cell overhead floor")
+	}
+}
+
+func TestDispatchPerBlockValidated(t *testing.T) {
+	bad := DefaultCostModel()
+	bad.DispatchPerBlock = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero DispatchPerBlock accepted")
+	}
+}

@@ -7,6 +7,13 @@
 // The controller is deliberately separable from transport: experiments drive
 // Step directly with observed demands, while cmd/pran-sim wires the same
 // logic to live data-plane agents through internal/ctrlproto.
+//
+// Concurrency: the control plane is single-threaded by design — a
+// Controller (and its Monitor, Predictor, and Placer) must be driven from
+// one goroutine; Step mutates placement state with no internal locking. The
+// paper's "logically centralized" controller maps to exactly this: one
+// decision loop, with all cross-goroutine hand-off done by the transport
+// layer (internal/node) that feeds it.
 package controller
 
 import (

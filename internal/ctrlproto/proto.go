@@ -12,6 +12,12 @@
 //
 // The protocol is deliberately version-tagged in Register so mixed fleets
 // can be detected at connect time rather than mid-operation.
+//
+// Concurrency: message encode/decode functions are pure and safe for
+// concurrent use. A Conn permits one reading goroutine at a time, while
+// writes are internally serialized so any goroutine may send; the node
+// layer follows that shape with a dedicated reader goroutine per
+// connection. Server guards its connection registry with a mutex.
 package ctrlproto
 
 import (

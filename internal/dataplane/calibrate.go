@@ -14,12 +14,24 @@ import (
 // scaled HARQ budget — the same compute-to-deadline ratio the paper's
 // optimized C stack had against the real 3 ms budget. Experiments that use
 // the measured data plane call this once at startup so results are
-// comparable across hosts.
+// comparable across hosts. The measurement runs a serial decode; use
+// CalibrateDeadlineScaleWorkers when the pool enables Config.DecodeWorkers
+// so the budget reflects the parallel service time.
 func CalibrateDeadlineScale(bw phy.Bandwidth, mcs phy.MCS) (float64, error) {
-	proc, err := phy.NewTransportProcessor(mcs, bw.PRB())
+	return CalibrateDeadlineScaleWorkers(bw, mcs, 1)
+}
+
+// CalibrateDeadlineScaleWorkers is CalibrateDeadlineScale measured with the
+// given intra-task decode parallelism, matching a pool configured with
+// DecodeWorkers=workers. On a multi-core host the returned scale shrinks
+// roughly with min(workers, code blocks) because the turbo stage — the
+// dominant cost — parallelizes across code blocks.
+func CalibrateDeadlineScaleWorkers(bw phy.Bandwidth, mcs phy.MCS, workers int) (float64, error) {
+	proc, err := phy.NewTransportProcessorWorkers(mcs, bw.PRB(), workers)
 	if err != nil {
 		return 0, err
 	}
+	defer proc.Close()
 	payload := make([]byte, proc.TransportBlockSize())
 	for i := range payload {
 		payload[i] = byte(i % 2)

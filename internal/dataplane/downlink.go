@@ -167,6 +167,9 @@ func EncodeOnPool(pool *Pool, cell frame.CellConfig, work frame.SubframeWork, pa
 					dl.Err = err
 					return
 				}
+				if w.procs == nil {
+					defer proc.Close()
+				}
 				syms, err := proc.Encode(dl.Payload, uint16(dl.Alloc.RNTI), dl.PCI, dl.TTI.Subframe(), int(dl.Alloc.RV))
 				if err != nil {
 					dl.Err = err

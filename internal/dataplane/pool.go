@@ -44,6 +44,13 @@ var (
 type Config struct {
 	// Workers is the number of processing goroutines (≈ dedicated cores).
 	Workers int
+	// DecodeWorkers is the intra-task parallelism: each pool worker fans a
+	// transport block's code blocks across this many turbo decoders (its
+	// own goroutine plus DecodeWorkers-1 resident helpers per cached
+	// processor). 0 or 1 means serial decode. The effective core demand of
+	// a fully busy pool is ≈ Workers × DecodeWorkers; provisioning math in
+	// internal/cluster.CostModel.AllocCostWorkers uses the same knob.
+	DecodeWorkers int
 	// Policy selects EDF or FIFO dispatch.
 	Policy SchedPolicy
 	// DeadlineScale stretches the HARQ budget to compensate for unoptimized
@@ -65,6 +72,9 @@ func (c Config) Validate() error {
 	if c.Workers < 1 {
 		return fmt.Errorf("dataplane: %d workers: %w", c.Workers, phy.ErrBadParameter)
 	}
+	if c.DecodeWorkers < 0 {
+		return fmt.Errorf("dataplane: %d decode workers: %w", c.DecodeWorkers, phy.ErrBadParameter)
+	}
 	if c.DeadlineScale <= 0 {
 		return fmt.Errorf("dataplane: deadline scale %v: %w", c.DeadlineScale, phy.ErrBadParameter)
 	}
@@ -74,6 +84,14 @@ func (c Config) Validate() error {
 // Budget returns the scaled per-task processing budget.
 func (c Config) Budget() time.Duration {
 	return time.Duration(float64(HARQBudget) * c.DeadlineScale)
+}
+
+// decodeWorkers normalizes the intra-task parallelism (0 means serial).
+func (c Config) decodeWorkers() int {
+	if c.DecodeWorkers < 1 {
+		return 1
+	}
+	return c.DecodeWorkers
 }
 
 // Stats aggregates pool-level counters. Retrieve a snapshot with

@@ -15,6 +15,16 @@
 // per-configuration phy.TransportProcessor instances and reuse every buffer;
 // steady-state processing performs no heap allocation. Config.NaiveAlloc
 // deliberately disables the caches for the GC-pressure ablation in E5.
+//
+// Concurrency: a Pool owns Config.Workers resident goroutines; tasks enter
+// through Submit (any goroutine) and results leave on the pool's completion
+// channel. Each worker owns its processors and metrics outright — nothing on
+// the processing path is shared between workers, so the hot path takes no
+// locks; per-worker metrics merge at collection points. When
+// Config.DecodeWorkers > 1 each processor additionally owns a
+// phy.ParallelDecoder whose helper goroutines fan the task's code blocks
+// out, making the effective core demand ≈ Workers × DecodeWorkers. The full
+// threading model is documented in docs/concurrency.md.
 package dataplane
 
 import (

@@ -7,7 +7,12 @@ import (
 )
 
 // worker owns per-configuration DSP state so the steady-state decode path
-// never allocates. One worker maps to one dedicated core in the PRAN model.
+// never allocates. One worker maps to one dedicated core in the PRAN model;
+// with Config.DecodeWorkers > 1 each cached processor additionally keeps
+// DecodeWorkers-1 resident turbo-decode helpers, so a busy worker occupies
+// up to DecodeWorkers cores during the turbo stage. All processor state is
+// private to this worker's goroutine — only the parallel decoder's internal
+// fan-out (documented on phy.ParallelDecoder) crosses goroutines.
 type worker struct {
 	pool *Pool
 	id   int
@@ -30,16 +35,18 @@ func newWorker(p *Pool, id int) *worker {
 }
 
 // processor returns a transport processor for the configuration, cached per
-// worker unless the GC-pressure ablation is on.
+// worker unless the GC-pressure ablation is on. In NaiveAlloc mode the
+// caller owns the returned processor and must Close it after use (the
+// cached ones are closed when the worker exits).
 func (w *worker) processor(mcs phy.MCS, nprb int) (*phy.TransportProcessor, error) {
 	if w.procs == nil {
-		return phy.NewTransportProcessor(mcs, nprb)
+		return phy.NewTransportProcessorWorkers(mcs, nprb, w.pool.cfg.decodeWorkers())
 	}
 	key := procKey{mcs, nprb}
 	if p, ok := w.procs[key]; ok {
 		return p, nil
 	}
-	p, err := phy.NewTransportProcessor(mcs, nprb)
+	p, err := phy.NewTransportProcessorWorkers(mcs, nprb, w.pool.cfg.decodeWorkers())
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +56,12 @@ func (w *worker) processor(mcs phy.MCS, nprb int) (*phy.TransportProcessor, erro
 
 func (w *worker) run() {
 	defer w.pool.wg.Done()
+	defer func() {
+		// Release the resident decode helpers of cached parallel processors.
+		for _, p := range w.procs {
+			p.Close()
+		}
+	}()
 	for {
 		t := w.pool.next()
 		if t == nil {
@@ -78,6 +91,9 @@ func (w *worker) execute(t *Task) {
 		t.Err = err
 		t.Finished = time.Now()
 		return
+	}
+	if w.procs == nil {
+		defer proc.Close()
 	}
 	payload, err := proc.Decode(t.REs, t.N0, uint16(t.Alloc.RNTI), t.PCI, t.TTI.Subframe(), int(t.Alloc.RV), t.Soft)
 	t.Payload = payload

@@ -1,9 +1,18 @@
 // Package experiments regenerates PRAN's evaluation: one function per
-// reconstructed table/figure (E1–E10, indexed in DESIGN.md §4). Each returns
+// reconstructed table/figure (E1–E11, indexed in DESIGN.md §4). Each returns
 // a Result whose rows cmd/pran-bench prints and whose headline numbers the
 // root bench_test.go reports as benchmark metrics. The quick flag trades
 // sweep breadth for runtime so `go test -bench` stays fast; the full sweeps
 // run via cmd/pran-bench.
+//
+// Concurrency: experiment functions are plain synchronous calls — each runs
+// its sweep on the calling goroutine and returns a self-contained Result.
+// Measured experiments spin up their own dataplane pools or parallel
+// decoders internally and tear them down before returning, so concurrent
+// experiment runs don't share state; the only process-global is the lazily
+// calibrated deadline scale, which is written once and is not safe to race
+// from multiple goroutines (the benchmark and CLI drivers run experiments
+// sequentially).
 package experiments
 
 import (
@@ -15,7 +24,7 @@ import (
 
 // Result is one experiment's regenerated table.
 type Result struct {
-	// ID is the experiment identifier (E1..E10).
+	// ID is the experiment identifier (E1..E11).
 	ID string
 	// Title describes the paper artifact the experiment reconstructs.
 	Title string
@@ -69,6 +78,7 @@ func All(quick bool) ([]Result, error) {
 		E8Failover,
 		E9Controller,
 		E10HeadroomAblation,
+		E11ParallelSpeedup,
 	}
 	var out []Result
 	for _, fn := range runs {

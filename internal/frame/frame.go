@@ -7,6 +7,11 @@
 // the execution machinery (internal/dataplane): it only describes *what* is
 // scheduled where, which lets the traffic generator, the simulator, and the
 // real data plane share one vocabulary.
+//
+// Concurrency: everything here is passive data. Values are safe to share
+// between goroutines as long as at most one mutates at a time; in practice
+// a SubframeWork and its Grid are built by one producer and handed off to
+// the data plane, which treats them as read-only.
 package frame
 
 import (

@@ -4,6 +4,10 @@
 // functional splits. PRAN's feasibility argument is that fronthaul bandwidth,
 // while large, is manageable with compression or a low-PHY split; experiment
 // E7 regenerates that table.
+//
+// Concurrency: bandwidth arithmetic is pure and safe for concurrent use.
+// BFP compressor/decompressor state is owned by a single goroutine per
+// link direction; use one instance per link, not one shared across links.
 package fronthaul
 
 import (

@@ -3,9 +3,11 @@
 // percentile queries, Jain's fairness index, and simple time series used by
 // the controller's load monitor and by the benchmark harness.
 //
-// All types are safe for single-goroutine use; the data plane keeps one
-// instance per worker and merges at collection points, which avoids locks on
-// the hot path.
+// Concurrency: all types are unsynchronized and belong to one goroutine at
+// a time. The intended pattern — which the data plane follows — is one
+// instance per worker goroutine, merged at collection points after the
+// workers quiesce; that keeps the hot path lock-free by construction rather
+// than by fine-grained synchronization.
 package metrics
 
 import (

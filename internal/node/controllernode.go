@@ -7,6 +7,13 @@
 //
 // cmd/pran-controller and cmd/pran-agent are thin wrappers around this
 // package so the whole distributed path stays unit-testable over loopback.
+//
+// Concurrency: this is where the single-threaded control plane meets the
+// network. The controller node serializes all state mutation behind one
+// mutex, so per-connection reader goroutines never touch controller state
+// concurrently; the agent node runs a TTI loop goroutine driving its
+// dataplane pool plus a report loop goroutine streaming load, sharing state
+// under the agent's mutex. Shutdown joins all goroutines via WaitGroups.
 package node
 
 import (

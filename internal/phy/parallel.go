@@ -1,0 +1,169 @@
+package phy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelDecoder fans the turbo decoding of one transport block's code
+// blocks across a bounded set of workers. LTE code blocks are independent
+// after de-rate-matching — no state crosses block boundaries until
+// desegmentation — so the single hottest loop of uplink processing is
+// embarrassingly parallel; this type is the repo's intra-subframe
+// parallelization of it.
+//
+// Ownership/concurrency contract: a ParallelDecoder is owned by exactly one
+// goroutine at a time, the one calling Decode — like TurboDecoder, it is NOT
+// safe for concurrent Decode calls. Internally it keeps workers-1 resident
+// helper goroutines, each owning a private TurboDecoder (with its own
+// preallocated metric buffers), parked on a wake channel between calls. The
+// calling goroutine participates as worker 0, so workers=1 spawns no
+// goroutines and adds no synchronization to the serial path. During a call,
+// block indices are claimed through an atomic counter (lock-free, no
+// per-subframe allocation); worker i writes only blocks[claimed] and reads
+// only the claimed block's LLR streams, so result placement is deterministic
+// regardless of scheduling order: block j's bits always land in blocks[j].
+// The wake-channel send happens-before helper execution and the WaitGroup
+// join happens-before Decode returns, which is the entire memory-ordering
+// story — no other locks exist on this path.
+//
+// A CRC failure on any block (the per-block predicate returning false after
+// the iteration budget) sets an abort flag; workers observe it before
+// claiming their next block and stop early, since a transport block with a
+// failed code block can never pass the TB CRC.
+//
+// Close releases the resident goroutines. Closing is required before
+// dropping the last reference when workers > 1, otherwise the helpers leak
+// parked forever.
+type ParallelDecoder struct {
+	workers int
+	decs    []*TurboDecoder // decs[0] is used by the calling goroutine
+
+	wake   chan struct{} // one token wakes one parked helper
+	closed bool
+
+	// Per-call fan-out state: written by the owner before waking helpers
+	// (the channel send publishes it), read-only during the call except for
+	// the atomics and the distinct blocks[i] each claim writes.
+	blocks        [][]byte
+	ld0, ld1, ld2 [][]float32
+	check         func([]byte) bool
+	next          atomic.Int64
+	aborted       atomic.Bool
+	iters         atomic.Int64
+	wg            sync.WaitGroup
+}
+
+// NewParallelDecoder returns a decoder pool for turbo block size k with the
+// given parallelism (≥ 1). workers-1 resident helper goroutines are started;
+// call Close to release them.
+func NewParallelDecoder(k, workers int) (*ParallelDecoder, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("phy: %d parallel decode workers: %w", workers, ErrBadParameter)
+	}
+	pd := &ParallelDecoder{
+		workers: workers,
+		wake:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		dec, err := NewTurboDecoder(k)
+		if err != nil {
+			return nil, err
+		}
+		pd.decs = append(pd.decs, dec)
+	}
+	for i := 1; i < workers; i++ {
+		go pd.helper(pd.decs[i])
+	}
+	return pd, nil
+}
+
+// Workers returns the configured parallelism (including the caller).
+func (pd *ParallelDecoder) Workers() int { return pd.workers }
+
+// K returns the turbo block size.
+func (pd *ParallelDecoder) K() int { return pd.decs[0].K() }
+
+// Decode turbo-decodes every code block: blocks[i] (length K each) receives
+// the hard decisions for the LLR streams ld0[i], ld1[i], ld2[i] (each length
+// K+4, the encoder's layout). check, when non-nil, is the per-block success
+// predicate (a CRC); it is installed as each worker's EarlyCheck, and a
+// block that still fails it after the iteration budget aborts the remaining
+// blocks. Decode returns the total iterations consumed and ok=false if any
+// decoded block failed check. Successful output is bit-identical to
+// decoding the blocks serially with one TurboDecoder, because each block's
+// decode depends only on its own streams.
+func (pd *ParallelDecoder) Decode(blocks [][]byte, ld0, ld1, ld2 [][]float32, check func([]byte) bool) (int, bool, error) {
+	if pd.closed {
+		return 0, false, fmt.Errorf("phy: parallel decoder is closed: %w", ErrBadParameter)
+	}
+	c := len(blocks)
+	if len(ld0) != c || len(ld1) != c || len(ld2) != c {
+		return 0, false, fmt.Errorf("phy: %d blocks but %d/%d/%d LLR streams: %w",
+			c, len(ld0), len(ld1), len(ld2), ErrBadParameter)
+	}
+	pd.blocks, pd.ld0, pd.ld1, pd.ld2, pd.check = blocks, ld0, ld1, ld2, check
+	pd.next.Store(0)
+	pd.aborted.Store(false)
+	pd.iters.Store(0)
+	helpers := min(pd.workers, c) - 1
+	pd.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		pd.wake <- struct{}{}
+	}
+	// The caller is worker 0.
+	err := pd.decodeBlocks(pd.decs[0])
+	pd.wg.Wait()
+	pd.blocks, pd.ld0, pd.ld1, pd.ld2, pd.check = nil, nil, nil, nil, nil
+	if err != nil {
+		return int(pd.iters.Load()), false, err
+	}
+	return int(pd.iters.Load()), !pd.aborted.Load(), nil
+}
+
+// helper is the resident loop of one worker goroutine: park on the wake
+// channel, run the shared block counter dry, signal completion, park again.
+// A closed wake channel terminates the loop.
+func (pd *ParallelDecoder) helper(dec *TurboDecoder) {
+	for range pd.wake {
+		// Decode errors cannot occur here: Decode validated the stream
+		// shapes and the constructor fixed K, which are the only failure
+		// modes of TurboDecoder.Decode. The owner's own decodeBlocks call
+		// surfaces them in the degenerate cases.
+		_ = pd.decodeBlocks(dec)
+		pd.wg.Done()
+	}
+}
+
+// decodeBlocks claims block indices until none remain or a block aborts.
+func (pd *ParallelDecoder) decodeBlocks(dec *TurboDecoder) error {
+	dec.EarlyCheck = pd.check
+	for !pd.aborted.Load() {
+		i := int(pd.next.Add(1) - 1)
+		if i >= len(pd.blocks) {
+			return nil
+		}
+		iters, err := dec.Decode(pd.blocks[i], pd.ld0[i], pd.ld1[i], pd.ld2[i])
+		if err != nil {
+			pd.aborted.Store(true)
+			return err
+		}
+		pd.iters.Add(int64(iters))
+		if pd.check != nil && !pd.check(pd.blocks[i]) {
+			pd.aborted.Store(true)
+		}
+	}
+	return nil
+}
+
+// Close terminates the resident helper goroutines. It must not be called
+// concurrently with Decode; calling it twice is safe. Decode after Close
+// returns an error.
+func (pd *ParallelDecoder) Close() error {
+	if !pd.closed {
+		pd.closed = true
+		close(pd.wake)
+	}
+	return nil
+}

@@ -18,6 +18,17 @@
 // resource elements per PRB-pair for data. Deviations from 3GPP 36.211/212/
 // 213 (exact TBS tables, sub-block interleaver details) are documented where
 // they occur and in DESIGN.md §2.
+//
+// Concurrency: stateless transforms (CRCs, Modulate/Demodulate, TBS tables)
+// are safe for concurrent use. Stateful processors — TransportProcessor,
+// TurboEncoder/TurboDecoder, RateMatcher, Scrambler, OFDMModulator — each
+// belong to exactly one goroutine at a time; they reuse internal buffers
+// across calls and perform no locking, which is what keeps the steady-state
+// hot path allocation-free. The one construct that spans goroutines is
+// ParallelDecoder: it owns a set of resident helper goroutines that fan a
+// transport block's code blocks across per-worker TurboDecoders, while its
+// Decode/Close API remains single-owner like everything else. The
+// end-to-end threading model is documented in docs/concurrency.md.
 package phy
 
 import (

@@ -18,7 +18,12 @@ import (
 // and reused, so per-subframe processing performs no heap allocation — the
 // property that keeps Go's GC out of the PHY deadline path (DESIGN.md §2).
 // A TransportProcessor is not safe for concurrent use; the data plane keeps
-// one per (worker, configuration) via a pool.
+// one per (worker, configuration) via a pool. Construction with
+// NewTransportProcessorWorkers additionally fans the turbo stage of Decode
+// across a resident ParallelDecoder; that internal fan-out does not change
+// the external contract (one owning goroutine per processor), but a
+// processor with workers > 1 must be Closed to release its helper
+// goroutines. See docs/concurrency.md for the end-to-end threading model.
 type TransportProcessor struct {
 	mcs  MCS
 	nprb int
@@ -28,6 +33,7 @@ type TransportProcessor struct {
 
 	enc *TurboEncoder
 	dec *TurboDecoder
+	par *ParallelDecoder // non-nil when decode parallelism > 1
 	rm  *RateMatcher
 	scr *Scrambler
 
@@ -151,8 +157,21 @@ func (sb *SoftBuffer) Unmarshal(src []byte) (int, error) {
 	return pos, nil
 }
 
-// NewTransportProcessor builds a processor for the given MCS and PRB count.
+// NewTransportProcessor builds a serial processor for the given MCS and PRB
+// count (equivalent to NewTransportProcessorWorkers with workers=1).
 func NewTransportProcessor(mcs MCS, nprb int) (*TransportProcessor, error) {
+	return NewTransportProcessorWorkers(mcs, nprb, 1)
+}
+
+// NewTransportProcessorWorkers builds a processor whose Decode fans the
+// transport block's code blocks across workers turbo decoders (the callers
+// goroutine counts as one). workers=1 is the fully serial processor;
+// workers > 1 keeps resident helper goroutines that Close releases. The
+// decoded output is bit-identical across worker counts.
+func NewTransportProcessorWorkers(mcs MCS, nprb, workers int) (*TransportProcessor, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("phy: %d decode workers: %w", workers, ErrBadParameter)
+	}
 	tbs, err := mcs.TransportBlockSize(nprb)
 	if err != nil {
 		return nil, err
@@ -166,9 +185,14 @@ func NewTransportProcessor(mcs MCS, nprb int) (*TransportProcessor, error) {
 	if err != nil {
 		return nil, err
 	}
-	dec, err := NewTurboDecoder(seg.K)
-	if err != nil {
-		return nil, err
+	var dec *TurboDecoder
+	if workers == 1 {
+		// The parallel decoder owns per-worker decoders; only the serial
+		// path needs the processor-level one.
+		dec, err = NewTurboDecoder(seg.K)
+		if err != nil {
+			return nil, err
+		}
 	}
 	rm, err := NewRateMatcher(seg.K)
 	if err != nil {
@@ -194,7 +218,30 @@ func NewTransportProcessor(mcs MCS, nprb int) (*TransportProcessor, error) {
 		p.blocks = append(p.blocks, p.blockbk[i*seg.K:(i+1)*seg.K])
 	}
 	p.softBuf = p.NewSoftBuffer()
+	if workers > 1 {
+		p.par, err = NewParallelDecoder(seg.K, workers)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// Workers returns the configured decode parallelism (1 = serial).
+func (p *TransportProcessor) Workers() int {
+	if p.par == nil {
+		return 1
+	}
+	return p.par.Workers()
+}
+
+// Close releases the resident decode goroutines of a parallel processor. It
+// is a no-op for serial processors and must not race an in-flight Decode.
+func (p *TransportProcessor) Close() error {
+	if p.par != nil {
+		return p.par.Close()
+	}
+	return nil
 }
 
 // MCS returns the configured modulation-and-coding scheme.
@@ -212,6 +259,21 @@ func (p *TransportProcessor) NumCodeBlocks() int { return p.seg.C }
 // NumSymbols returns the number of constellation symbols per TB.
 func (p *TransportProcessor) NumSymbols() int {
 	return p.e / p.mcs.Modulation().BitsPerSymbol()
+}
+
+// checkBlockCRC24B reports whether a decoded code block passes its CRC-24B —
+// the per-block early-termination predicate when a TB segments into several
+// blocks. Package-level (not a closure) so installing it allocates nothing.
+func checkBlockCRC24B(bits []byte) bool {
+	_, ok := CheckCRC24B(bits)
+	return ok
+}
+
+// checkBlockCRC24A is the single-block predicate: the whole TB (with its
+// CRC-24A) is one code block.
+func checkBlockCRC24A(bits []byte) bool {
+	_, ok := CheckCRC24A(bits)
+	return ok
 }
 
 // blockE returns the coded-bit share of block i.
@@ -319,24 +381,33 @@ func (p *TransportProcessor) Decode(rx []complex128, n0 float64, rnti uint16, ce
 	// Turbo decode each block with CRC-based early termination.
 	start = time.Now()
 	p.Timings.TurboIterations = 0
-	useBlockCRC := p.seg.C > 1
-	for i := 0; i < p.seg.C; i++ {
-		if useBlockCRC {
-			p.dec.EarlyCheck = func(bits []byte) bool {
-				_, ok := CheckCRC24B(bits)
-				return ok
-			}
-		} else {
-			p.dec.EarlyCheck = func(bits []byte) bool {
-				_, ok := CheckCRC24A(bits)
-				return ok
-			}
-		}
-		iters, err := p.dec.Decode(p.blocks[i], sb.ld0[i], sb.ld1[i], sb.ld2[i])
+	check := checkBlockCRC24A
+	if p.seg.C > 1 {
+		check = checkBlockCRC24B
+	}
+	if p.par != nil {
+		// Parallel path: fan the independent code blocks across the
+		// resident workers; a block failing its CRC aborts the rest, since
+		// the TB CRC below could no longer pass.
+		iters, ok, err := p.par.Decode(p.blocks, sb.ld0, sb.ld1, sb.ld2, check)
+		p.Timings.TurboIterations = iters
 		if err != nil {
 			return nil, err
 		}
-		p.Timings.TurboIterations += iters
+		if !ok {
+			p.Timings.TurboDecode = time.Since(start)
+			p.Timings.CRCCheck = 0
+			return nil, fmt.Errorf("phy: transport block: %w", ErrCRC)
+		}
+	} else {
+		p.dec.EarlyCheck = check
+		for i := 0; i < p.seg.C; i++ {
+			iters, err := p.dec.Decode(p.blocks[i], sb.ld0[i], sb.ld1[i], sb.ld2[i])
+			if err != nil {
+				return nil, err
+			}
+			p.Timings.TurboIterations += iters
+		}
 	}
 	p.Timings.TurboDecode = time.Since(start)
 

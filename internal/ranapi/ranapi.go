@@ -9,6 +9,12 @@
 // through every program's OnSubframe in registration order, and the data
 // plane executes whatever survives. After processing, per-cell observations
 // flow back through OnObservation.
+//
+// Concurrency: the registry invokes every program hook from the single
+// goroutine driving the subframe loop (core.System's Tick), never
+// concurrently — programs may keep unsynchronized internal state.
+// Attaching or detaching programs is also a single-goroutine operation;
+// the registry does not lock.
 package ranapi
 
 import (

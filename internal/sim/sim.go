@@ -3,6 +3,11 @@
 // Wall-clock experiments (deadline misses under real DSP load) run on the
 // real data plane instead; the engine exists so day-long, many-cell sweeps
 // finish in seconds while preserving event ordering.
+//
+// Concurrency: the engine is strictly single-threaded — Run executes every
+// event handler inline on the calling goroutine, which is what makes runs
+// deterministic. Never share one Engine between goroutines; run independent
+// simulations on independent engines instead.
 package sim
 
 import (

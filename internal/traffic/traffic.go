@@ -11,6 +11,11 @@
 //     pooling experiments (E3, E4).
 //   - Generator produces per-TTI UE allocations (PRBs + MCS) that feed the
 //     real data plane in the deadline experiments (E5, E6).
+//
+// Concurrency: DayTrace values are immutable after construction and safe to
+// read from any goroutine. Generator carries its own RNG stream and belongs
+// to one goroutine; create one Generator per concurrent producer (seeded
+// distinctly) rather than sharing.
 package traffic
 
 import (
