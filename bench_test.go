@@ -95,3 +95,10 @@ func BenchmarkE10_HeadroomAblation(b *testing.B) {
 func BenchmarkE11_ParallelSpeedup(b *testing.B) {
 	report(b, experiments.E11ParallelSpeedup)
 }
+
+// BenchmarkE12_KernelAblation regenerates the decode-kernel ablation:
+// int16 quantized vs float32 max-log-MAP turbo speedup, BLER parity in
+// the waterfall, and the per-kernel feasibility frontier.
+func BenchmarkE12_KernelAblation(b *testing.B) {
+	report(b, experiments.E12KernelAblation)
+}

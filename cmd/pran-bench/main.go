@@ -1,18 +1,21 @@
 // Command pran-bench regenerates the PRAN evaluation: every reconstructed
-// table and figure (E1–E11, indexed in DESIGN.md §4) as printable tables.
+// table and figure (E1–E12, indexed in DESIGN.md §4) as printable tables.
 //
 // Usage:
 //
-//	pran-bench            # run everything, full sweeps
-//	pran-bench -quick     # reduced sweeps (~seconds)
-//	pran-bench -run E4    # one experiment
-//	pran-bench -list      # list experiment IDs
+//	pran-bench                # run everything, full sweeps
+//	pran-bench -quick         # reduced sweeps (~seconds)
+//	pran-bench -run E4        # one experiment
+//	pran-bench -list          # list experiment IDs
+//	pran-bench -json outdir   # additionally write BENCH_<id>.json per result
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pran/internal/experiments"
@@ -20,8 +23,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
-	run := flag.String("run", "", "run a single experiment by ID (E1..E11)")
+	run := flag.String("run", "", "run a single experiment by ID (E1..E12)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonDir := flag.String("json", "", "directory to write per-experiment BENCH_<id>.json files (empty disables)")
 	flag.Parse()
 
 	table := []struct {
@@ -39,6 +43,7 @@ func main() {
 		{"E9", experiments.E9Controller},
 		{"E10", experiments.E10HeadroomAblation},
 		{"E11", experiments.E11ParallelSpeedup},
+		{"E12", experiments.E12KernelAblation},
 	}
 
 	if *list {
@@ -62,6 +67,12 @@ func main() {
 			continue
 		}
 		fmt.Println(res.String())
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+				failed = true
+			}
+		}
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *run)
@@ -70,4 +81,18 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeJSON persists one result as BENCH_<id>.json in dir, creating the
+// directory if needed — the machine-readable perf trajectory across PRs.
+func writeJSON(dir string, res experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+res.ID+".json"), data, 0o644)
 }

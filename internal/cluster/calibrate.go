@@ -112,20 +112,14 @@ func Calibrate() (CostModel, error) {
 		m.DematchPerBit = time.Since(start).Seconds() / float64(reps) / float64(e)
 	}
 
-	// Turbo decoding per information bit per iteration: fixed iteration
-	// count, no early termination.
+	// Turbo decoding per information bit per iteration, measured once per
+	// kernel: fixed iteration count, no early termination.
 	{
 		const k = 6144
 		enc, err := phy.NewTurboEncoder(k)
 		if err != nil {
 			return m, err
 		}
-		dec, err := phy.NewTurboDecoder(k)
-		if err != nil {
-			return m, err
-		}
-		const iters = 4
-		dec.MaxIterations = iters
 		input := make([]byte, k)
 		for i := range input {
 			input[i] = byte(rng.Intn(2))
@@ -149,14 +143,28 @@ func Calibrate() (CostModel, error) {
 		}
 		l0, l1, l2 := toLLR(d0), toLLR(d1), toLLR(d2)
 		out := make([]byte, k)
-		reps := 12
-		start := time.Now()
-		for i := 0; i < reps; i++ {
-			if _, err := dec.Decode(out, l0, l1, l2); err != nil {
-				return m, err
+		const iters = 4
+		measure := func(kernel phy.DecodeKernel) (float64, error) {
+			dec, err := phy.NewTurboDecoderKernel(k, kernel)
+			if err != nil {
+				return 0, err
 			}
+			dec.MaxIterations = iters
+			reps := 12
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if _, err := dec.Decode(out, l0, l1, l2); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(start).Seconds() / float64(reps) / (k * iters), nil
 		}
-		m.TurboPerBitIter = time.Since(start).Seconds() / float64(reps) / (k * iters)
+		if m.TurboPerBitIter, err = measure(phy.KernelFloat32); err != nil {
+			return m, err
+		}
+		if m.TurboPerBitIterI16, err = measure(phy.KernelInt16); err != nil {
+			return m, err
+		}
 	}
 
 	// CRC per bit.

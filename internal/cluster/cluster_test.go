@@ -147,14 +147,18 @@ func TestCalibrateProducesPlausibleModel(t *testing.T) {
 		t.Fatalf("demod cost ordering wrong: %g vs %g", m.DemodPerRE64QAM, m.DemodPerREQPSK)
 	}
 	// A fully loaded 20 MHz high-MCS subframe costs between 0.1 ms and
-	// 500 ms on one reference core: pure Go DSP runs tens of times slower
-	// than the SIMD C stacks the paper used, which is why the data plane
-	// exposes a deadline-scale knob (see internal/dataplane); the *shape*
-	// across MCS/PRB is what carries over.
+	// a few seconds on one reference core: pure Go DSP runs tens of times
+	// slower than the SIMD C stacks the paper used, which is why the data
+	// plane exposes a deadline-scale knob (see internal/dataplane); the
+	// *shape* across MCS/PRB is what carries over. The upper bound only
+	// guards against unit errors (ms vs s would miss by orders of
+	// magnitude) — it is deliberately loose enough for race-instrumented
+	// runs on a loaded single-core CI box, where calibration coefficients
+	// inflate severalfold.
 	c := m.SubframeCost(frame.SubframeWork{Allocations: []frame.Allocation{
 		{RNTI: 1, NumPRB: 100, MCS: 25, SNRdB: phy.MCS(25).OperatingSNR() + 1},
 	}}, phy.BW20MHz, 1)
-	if c < 100*time.Microsecond || c > 500*time.Millisecond {
+	if c < 100*time.Microsecond || c > 5*time.Second {
 		t.Fatalf("calibrated full subframe cost %v implausible", c)
 	}
 }
@@ -252,5 +256,45 @@ func TestServerStateString(t *testing.T) {
 	}
 	if ServerState(9).String() == "" {
 		t.Fatal("unknown state must print")
+	}
+}
+
+func TestCostModelKernelSelection(t *testing.T) {
+	m := DefaultCostModel()
+	a := frame.Allocation{RNTI: 1, FirstPRB: 0, NumPRB: 100, MCS: 27, SNRdB: phy.MCS(27).OperatingSNR()}
+	base := m.AllocCost(a)
+	fast := m.WithKernel(phy.KernelInt16).AllocCost(a)
+	if fast >= base {
+		t.Fatalf("int16 alloc cost %v not below float32 %v", fast, base)
+	}
+	// WithKernel is a copy: the receiver must keep its kernel.
+	if m.Kernel != phy.KernelFloat32 {
+		t.Fatal("WithKernel mutated the receiver")
+	}
+	// The parallel service-time model must use the same coefficient switch.
+	baseW := m.AllocCostWorkers(a, 4)
+	fastW := m.WithKernel(phy.KernelInt16).AllocCostWorkers(a, 4)
+	if fastW >= baseW {
+		t.Fatalf("int16 parallel cost %v not below float32 %v", fastW, baseW)
+	}
+	// A zero int16 coefficient must fail validation.
+	bad := m
+	bad.TurboPerBitIterI16 = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero TurboPerBitIterI16 accepted")
+	}
+}
+
+func TestCalibrateMeasuresBothKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured calibration")
+	}
+	m, err := Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TurboPerBitIterI16 <= 0 || m.TurboPerBitIterI16 >= m.TurboPerBitIter {
+		t.Fatalf("calibrated int16 turbo coefficient %.3g not below float32 %.3g",
+			m.TurboPerBitIterI16, m.TurboPerBitIter)
 	}
 }

@@ -43,8 +43,12 @@ type CostModel struct {
 	// DematchPerBit is the soft de-rate-matching cost per coded bit.
 	DematchPerBit float64
 	// TurboPerBitIter is the turbo-decode cost per information bit per
-	// full iteration — the dominant coefficient.
+	// full iteration with the float32 reference kernel — the dominant
+	// coefficient.
 	TurboPerBitIter float64
+	// TurboPerBitIterI16 is the same coefficient measured with the
+	// quantized int16 kernel (phy.KernelInt16).
+	TurboPerBitIterI16 float64
 	// CRCPerBit is the CRC verification cost per bit.
 	CRCPerBit float64
 	// EncodePerBit is the downlink encode-chain cost per information bit.
@@ -54,6 +58,29 @@ type CostModel struct {
 	// goroutines of phy.ParallelDecoder). It only applies when a subframe's
 	// service time is computed at parallelism > 1 (AllocCostWorkers).
 	DispatchPerBlock float64
+
+	// Kernel selects which turbo coefficient the cost queries use
+	// (phy.KernelFloat32 — the zero value — or phy.KernelInt16), mirroring
+	// dataplane.Config.DecodeKernel so provisioning answers track the data
+	// plane's actual decode arithmetic. Use WithKernel to derive a model
+	// for the other kernel.
+	Kernel phy.DecodeKernel
+}
+
+// WithKernel returns a copy of the model whose cost queries charge turbo
+// decoding at the given kernel's calibrated coefficient.
+func (m CostModel) WithKernel(k phy.DecodeKernel) CostModel {
+	m.Kernel = k
+	return m
+}
+
+// turboCoeff returns the per-bit-per-iteration turbo cost for the selected
+// kernel.
+func (m CostModel) turboCoeff() float64 {
+	if m.Kernel == phy.KernelInt16 {
+		return m.TurboPerBitIterI16
+	}
+	return m.TurboPerBitIter
 }
 
 // DefaultCostModel returns coefficients representative of a ~3 GHz x86 core
@@ -61,16 +88,17 @@ type CostModel struct {
 // seconds per unit.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		FFTPerButterfly:  2.0e-9,
-		DemodPerREQPSK:   15e-9,
-		DemodPerRE16QAM:  25e-9,
-		DemodPerRE64QAM:  45e-9,
-		DescramblePerBit: 1.2e-9,
-		DematchPerBit:    2.5e-9,
-		TurboPerBitIter:  28e-9,
-		CRCPerBit:        0.8e-9,
-		EncodePerBit:     12e-9,
-		DispatchPerBlock: 300e-9,
+		FFTPerButterfly:    2.0e-9,
+		DemodPerREQPSK:     15e-9,
+		DemodPerRE16QAM:    25e-9,
+		DemodPerRE64QAM:    45e-9,
+		DescramblePerBit:   1.2e-9,
+		DematchPerBit:      2.5e-9,
+		TurboPerBitIter:    28e-9,
+		TurboPerBitIterI16: 9e-9,
+		CRCPerBit:          0.8e-9,
+		EncodePerBit:       12e-9,
+		DispatchPerBlock:   300e-9,
 	}
 }
 
@@ -78,8 +106,8 @@ func DefaultCostModel() CostModel {
 func (m CostModel) Validate() error {
 	for _, v := range []float64{
 		m.FFTPerButterfly, m.DemodPerREQPSK, m.DemodPerRE16QAM, m.DemodPerRE64QAM,
-		m.DescramblePerBit, m.DematchPerBit, m.TurboPerBitIter, m.CRCPerBit, m.EncodePerBit,
-		m.DispatchPerBlock,
+		m.DescramblePerBit, m.DematchPerBit, m.TurboPerBitIter, m.TurboPerBitIterI16,
+		m.CRCPerBit, m.EncodePerBit, m.DispatchPerBlock,
 	} {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("cluster: non-positive cost coefficient: %w", phy.ErrBadParameter)
@@ -141,7 +169,7 @@ func (m CostModel) AllocCost(a frame.Allocation) time.Duration {
 	iters := ExpectedTurboIterations(a.MCS, a.SNRdB)
 	sec := res*m.demodPerRE(a.MCS.Modulation()) +
 		codedBits*(m.DescramblePerBit+m.DematchPerBit) +
-		infoBits*iters*m.TurboPerBitIter +
+		infoBits*iters*m.turboCoeff() +
 		infoBits*m.CRCPerBit
 	return time.Duration(sec * float64(time.Second))
 }
@@ -175,7 +203,7 @@ func (m CostModel) AllocCostWorkers(a frame.Allocation, workers int) time.Durati
 	serial := res*m.demodPerRE(a.MCS.Modulation()) +
 		codedBits*(m.DescramblePerBit+m.DematchPerBit) +
 		infoBits*m.CRCPerBit
-	turbo := infoBits * iters * m.TurboPerBitIter
+	turbo := infoBits * iters * m.turboCoeff()
 	eff := workers
 	if seg.C < eff {
 		eff = seg.C

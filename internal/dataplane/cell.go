@@ -129,8 +129,9 @@ func (c *CellProcessor) IngestSubframe(samples []complex128, work frame.Subframe
 			Enqueued: now,
 			OnDone:   onDone,
 		}
-		if sb := c.harq.Prepare(a, work.TTI); sb != nil {
+		if sb, st := c.harq.prepareOwned(a, work.TTI); sb != nil {
 			t.Soft = sb
+			t.softState = st
 		}
 		if err := c.pool.Submit(t); err != nil {
 			return err

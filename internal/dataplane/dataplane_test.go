@@ -377,6 +377,36 @@ func TestHARQManagerStateTransitions(t *testing.T) {
 	}
 }
 
+func TestHARQManagerBusyOwnership(t *testing.T) {
+	h := NewHARQManager()
+	a := frame.Allocation{RNTI: 5, NumPRB: 4, MCS: 10, HARQProcess: 1, RV: 0, SNRdB: 10}
+	sb1, st1 := h.prepareOwned(a, 1)
+	if sb1 == nil || st1 == nil {
+		t.Fatal("no buffer for first TX")
+	}
+	// Retransmission while the first decode still owns the buffer: no
+	// combining buffer rather than a racy handout.
+	a.RV = 2
+	if sb, st := h.prepareOwned(a, 9); sb != nil || st != nil {
+		t.Fatal("busy buffer handed out for retransmission")
+	}
+	// A fresh transmission while busy detaches the old buffer instead of
+	// resetting it under the in-flight task.
+	a.RV = 0
+	sb2, st2 := h.prepareOwned(a, 17)
+	if sb2 == nil || sb2 == sb1 {
+		t.Fatal("busy buffer reset/reused for new TX")
+	}
+	// Release both tasks (what the pool does after OnDone); the process's
+	// current buffer becomes reusable again.
+	st1.busy.Store(false)
+	st2.busy.Store(false)
+	a.RV = 2
+	if sb, _ := h.prepareOwned(a, 25); sb != sb2 {
+		t.Fatal("released buffer not reused for retransmission")
+	}
+}
+
 func TestCalibrateDeadlineScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration is slow")
@@ -387,5 +417,35 @@ func TestCalibrateDeadlineScale(t *testing.T) {
 	}
 	if s < 1 || s > 1e4 {
 		t.Fatalf("scale %v implausible", s)
+	}
+}
+
+func TestEndToEndInt16Kernel(t *testing.T) {
+	pool := testPool(t, Config{Workers: 2, Policy: EDF, DeadlineScale: 1000, DecodeKernel: phy.KernelInt16})
+	if pool.Config().DecodeKernel != phy.KernelInt16 {
+		t.Fatal("kernel not recorded in config")
+	}
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 42,
+		Allocations: []frame.Allocation{
+			{RNTI: 100, FirstPRB: 0, NumPRB: 3, MCS: 8, SNRdB: phy.MCS(8).OperatingSNR() + 4},
+			{RNTI: 101, FirstPRB: 3, NumPRB: 3, MCS: 12, SNRdB: phy.MCS(12).OperatingSNR() + 4},
+		},
+	}
+	done := endToEnd(t, pool, work)
+	if len(done) != 2 {
+		t.Fatalf("%d tasks done", len(done))
+	}
+	for _, tk := range done {
+		if tk.Err != nil {
+			t.Fatalf("rnti %d: %v", tk.Alloc.RNTI, tk.Err)
+		}
+	}
+}
+
+func TestConfigRejectsBadKernel(t *testing.T) {
+	cfg := Config{Workers: 1, DeadlineScale: 1, DecodeKernel: phy.DecodeKernel(9)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("invalid decode kernel accepted")
 	}
 }

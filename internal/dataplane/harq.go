@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"pran/internal/frame"
 	"pran/internal/phy"
@@ -33,6 +34,11 @@ type harqState struct {
 	mcs  phy.MCS
 	nprb int
 	tti  frame.TTI
+	// busy is true while an in-flight decode task owns sb (set by
+	// prepareOwned on the driver goroutine, cleared by the pool on the
+	// worker goroutine after the task's last use of the buffer). While
+	// set, the manager must not reset, reuse, or hand out sb.
+	busy atomic.Bool
 }
 
 // NewHARQManager returns an empty manager.
@@ -60,27 +66,58 @@ func (h *HARQManager) prototype(mcs phy.MCS, nprb int) (*phy.TransportProcessor,
 // Prepare returns the soft buffer to use for an allocation's decode, or nil
 // when no buffer could be built (the decode then runs without combining).
 // RV 0 resets the process; a retransmission reuses the accumulated LLRs if
-// the configuration matches, else the buffer is rebuilt.
+// the configuration matches, else the buffer is rebuilt. Prepare is for
+// synchronous callers that decode on the calling goroutine; when the decode
+// is handed to a pool worker, the cell processor uses prepareOwned so the
+// buffer's ownership transfers with the task.
 func (h *HARQManager) Prepare(a frame.Allocation, tti frame.TTI) *phy.SoftBuffer {
+	sb, _ := h.prepare(a, tti)
+	return sb
+}
+
+// prepareOwned is Prepare for the pool path: it additionally marks the
+// returned buffer's state busy and returns the state handle the pool must
+// release (clear busy) after the task's last use of the buffer. A nil
+// buffer comes with a nil handle.
+func (h *HARQManager) prepareOwned(a frame.Allocation, tti frame.TTI) (*phy.SoftBuffer, *harqState) {
+	sb, st := h.prepare(a, tti)
+	if st != nil {
+		st.busy.Store(true)
+	}
+	return sb, st
+}
+
+func (h *HARQManager) prepare(a frame.Allocation, tti frame.TTI) (*phy.SoftBuffer, *harqState) {
 	key := harqStateKey{a.RNTI, a.HARQProcess}
 	st, ok := h.states[key]
 	sameCfg := ok && st.mcs == a.MCS && st.nprb == a.NumPRB
+	busy := ok && st.busy.Load()
 	if a.RV != 0 && sameCfg {
+		if busy {
+			// The previous transmission's decode still owns the buffer
+			// (the pool is lagging past the HARQ RTT). Decode without
+			// combining rather than read LLRs a worker may still be
+			// writing.
+			return nil, nil
+		}
 		st.tti = tti
-		return st.sb
+		return st.sb, st
 	}
 	proto, err := h.prototype(a.MCS, a.NumPRB)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
-	if sameCfg {
+	if sameCfg && !busy {
 		st.sb.Reset()
 		st.tti = tti
-		return st.sb
+		return st.sb, st
 	}
+	// New process, configuration change, or a first transmission while the
+	// old buffer is still attached to an in-flight decode: start fresh and
+	// let any in-flight task keep the detached buffer.
 	st = &harqState{sb: proto.NewSoftBuffer(), mcs: a.MCS, nprb: a.NumPRB, tti: tti}
 	h.states[key] = st
-	return st.sb
+	return st.sb, st
 }
 
 // Processes returns the number of tracked HARQ processes.

@@ -51,6 +51,12 @@ type Config struct {
 	// a fully busy pool is ≈ Workers × DecodeWorkers; provisioning math in
 	// internal/cluster.CostModel.AllocCostWorkers uses the same knob.
 	DecodeWorkers int
+	// DecodeKernel selects the turbo SISO arithmetic every processor this
+	// pool creates runs (phy.KernelFloat32 by default, phy.KernelInt16 for
+	// the quantized fast path). Kernel state is per-worker resident — each
+	// cached processor owns its kernel's buffers — so changing this field
+	// never shares mutable state across workers.
+	DecodeKernel phy.DecodeKernel
 	// Policy selects EDF or FIFO dispatch.
 	Policy SchedPolicy
 	// DeadlineScale stretches the HARQ budget to compensate for unoptimized
@@ -74,6 +80,9 @@ func (c Config) Validate() error {
 	}
 	if c.DecodeWorkers < 0 {
 		return fmt.Errorf("dataplane: %d decode workers: %w", c.DecodeWorkers, phy.ErrBadParameter)
+	}
+	if err := c.DecodeKernel.Validate(); err != nil {
+		return fmt.Errorf("dataplane: %w", err)
 	}
 	if c.DeadlineScale <= 0 {
 		return fmt.Errorf("dataplane: deadline scale %v: %w", c.DeadlineScale, phy.ErrBadParameter)
@@ -252,5 +261,12 @@ func (p *Pool) finish(t *Task) {
 	p.mu.Unlock()
 	if t.OnDone != nil {
 		t.OnDone(t)
+	}
+	if t.softState != nil {
+		// Hand the HARQ soft buffer back to its manager: the atomic store
+		// is the happens-before edge that lets the driver goroutine touch
+		// the buffer again (reset, reuse, or migration serialization).
+		t.softState.busy.Store(false)
+		t.softState = nil
 	}
 }

@@ -63,8 +63,13 @@ type Task struct {
 	Enqueued time.Time
 
 	// Soft, when non-nil, supplies the HARQ soft-combining buffer for this
-	// (cell, RNTI, HARQ process); the HARQ manager owns its lifecycle.
+	// (cell, RNTI, HARQ process); the HARQ manager owns its lifecycle. The
+	// task owns the buffer's contents from submission until the pool
+	// releases softState after OnDone.
 	Soft *phy.SoftBuffer
+	// softState, when non-nil, is the HARQ state handle whose busy flag
+	// the pool clears once the task is done with Soft.
+	softState *harqState
 	// runInstead, when non-nil, replaces the default uplink decode with a
 	// custom work function (the downlink encode path uses this so both
 	// directions share the pool's queue and deadline accounting).

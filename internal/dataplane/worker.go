@@ -40,13 +40,13 @@ func newWorker(p *Pool, id int) *worker {
 // cached ones are closed when the worker exits).
 func (w *worker) processor(mcs phy.MCS, nprb int) (*phy.TransportProcessor, error) {
 	if w.procs == nil {
-		return phy.NewTransportProcessorWorkers(mcs, nprb, w.pool.cfg.decodeWorkers())
+		return phy.NewTransportProcessorKernel(mcs, nprb, w.pool.cfg.decodeWorkers(), w.pool.cfg.DecodeKernel)
 	}
 	key := procKey{mcs, nprb}
 	if p, ok := w.procs[key]; ok {
 		return p, nil
 	}
-	p, err := phy.NewTransportProcessorWorkers(mcs, nprb, w.pool.cfg.decodeWorkers())
+	p, err := phy.NewTransportProcessorKernel(mcs, nprb, w.pool.cfg.decodeWorkers(), w.pool.cfg.DecodeKernel)
 	if err != nil {
 		return nil, err
 	}

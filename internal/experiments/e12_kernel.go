@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pran/internal/cluster"
+	"pran/internal/phy"
+)
+
+// E12KernelAblation measures what the quantized int16 max-log-MAP kernel
+// buys and what it costs: per-MCS turbo-stage speedup over the float32
+// reference kernel at a fully loaded 100-PRB subframe (single worker, so
+// the ratio is pure kernel arithmetic, not parallelism), BLER of both
+// kernels in the steepest part of the waterfall, and the deadline-
+// feasibility frontier the recalibrated cost model predicts for each
+// kernel. The BLER reference column runs the float32 kernel 0.2 dB lower:
+// the int16 column staying at or below it is the "within 0.2 dB"
+// acceptance criterion of the kernel, the same bound the phy property
+// tests pin.
+func E12KernelAblation(quick bool) (Result, error) {
+	mcsGrid := []phy.MCS{4, 13, 22, 27}
+	reps := 3
+	trials := 40
+	if quick {
+		mcsGrid = []phy.MCS{4, 27}
+		reps = 1
+		trials = 12
+	}
+	res := Result{
+		ID:      "E12",
+		Title:   "Decode-kernel ablation: int16 quantized vs float32 max-log-MAP",
+		Header:  []string{"mcs", "turbo-f32(ms)", "turbo-i16(ms)", "turbo-speedup", "total-speedup", "bler-i16", "bler-f32", "bler-f32@-0.2dB"},
+		Metrics: map[string]float64{},
+	}
+	for _, mcs := range mcsGrid {
+		tf, err := measureDecode(mcs, 100, reps, int64(mcs)*1201, 1, phy.KernelFloat32)
+		if err != nil {
+			return res, err
+		}
+		ti, err := measureDecode(mcs, 100, reps, int64(mcs)*1201, 1, phy.KernelInt16)
+		if err != nil {
+			return res, err
+		}
+		turboSpeedup := tf.TurboDecode.Seconds() / ti.TurboDecode.Seconds()
+		totalSpeedup := tf.Total().Seconds() / ti.Total().Seconds()
+
+		// BLER at the steepest point of the waterfall (op+0.5 dB, 6 PRB),
+		// identical payloads and channel noise across the three columns.
+		snr := mcs.OperatingSNR() + 0.5
+		seed := 1300 + int64(mcs)
+		bi, err := measureKernelBLER(mcs, 6, snr, trials, seed, phy.KernelInt16)
+		if err != nil {
+			return res, err
+		}
+		bf, err := measureKernelBLER(mcs, 6, snr, trials, seed, phy.KernelFloat32)
+		if err != nil {
+			return res, err
+		}
+		bref, err := measureKernelBLER(mcs, 6, snr-0.2, trials, seed, phy.KernelFloat32)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", mcs),
+			ms(tf.TurboDecode.Seconds()),
+			ms(ti.TurboDecode.Seconds()),
+			fmt.Sprintf("%.2fx", turboSpeedup),
+			fmt.Sprintf("%.2fx", totalSpeedup),
+			f(bi), f(bf), f(bref),
+		})
+		res.Metrics[fmt.Sprintf("speedup_mcs%d_turbo", mcs)] = turboSpeedup
+		res.Metrics[fmt.Sprintf("speedup_mcs%d_total", mcs)] = totalSpeedup
+		res.Metrics[fmt.Sprintf("bler_mcs%d_i16", mcs)] = bi
+		res.Metrics[fmt.Sprintf("bler_mcs%d_f32", mcs)] = bf
+		res.Metrics[fmt.Sprintf("bler_mcs%d_f32_minus02db", mcs)] = bref
+	}
+
+	// Cost-model mirror: the single-worker deadline-feasibility frontier
+	// per kernel, on the reference-core coefficients.
+	m := cluster.DefaultCostModel()
+	frontierF32 := feasibleMCS(m, 1)
+	frontierI16 := feasibleMCS(m.WithKernel(phy.KernelInt16), 1)
+	res.Metrics["feasible_mcs_f32"] = float64(frontierF32)
+	res.Metrics["feasible_mcs_i16"] = float64(frontierI16)
+	res.Notes = append(res.Notes,
+		"speedup at 100 PRB, single worker, op+3 dB — pure kernel arithmetic, no parallelism",
+		"bler at op+0.5 dB / 6 PRB (mid-waterfall); bler-f32@-0.2dB is the accuracy budget: i16 within 0.2 dB means bler-i16 ≤ that column",
+		fmt.Sprintf("model feasibility frontier at 1 worker (2 ms HARQ budget, reference core): MCS %d (float32) → MCS %d (int16)", frontierF32, frontierI16),
+	)
+	return res, nil
+}
+
+// measureKernelBLER runs trials independent transport blocks through AWGN
+// at the given SNR with the given decode kernel and returns the block error
+// rate (the experiments-side sibling of the phy test helper).
+func measureKernelBLER(mcs phy.MCS, nprb int, snrDB float64, trials int, seed int64, kernel phy.DecodeKernel) (float64, error) {
+	proc, err := phy.NewTransportProcessorKernel(mcs, nprb, 1, kernel)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ch := phy.NewAWGNChannel(snrDB, seed+1)
+	errsN := 0
+	rx := make([]complex128, proc.NumSymbols())
+	payload := make([]byte, proc.TransportBlockSize())
+	for i := 0; i < trials; i++ {
+		for j := range payload {
+			payload[j] = byte(rng.Intn(2))
+		}
+		syms, err := proc.Encode(payload, uint16(i+1), 7, uint8(i%10), 0)
+		if err != nil {
+			return 0, err
+		}
+		copy(rx, syms)
+		ch.Apply(rx)
+		if _, err := proc.Decode(rx, ch.N0(), uint16(i+1), 7, uint8(i%10), 0, nil); err != nil {
+			if !errors.Is(err, phy.ErrCRC) {
+				return 0, err
+			}
+			errsN++
+		}
+	}
+	return float64(errsN) / float64(trials), nil
+}

@@ -12,9 +12,10 @@ import (
 
 // measureDecode times the full uplink transport decode at a configuration,
 // returning the mean per-subframe stage timings over reps runs. workers
-// sets the intra-subframe code-block parallelism (1 = serial).
-func measureDecode(mcs phy.MCS, nprb, reps int, seed int64, workers int) (phy.StageTimings, error) {
-	proc, err := phy.NewTransportProcessorWorkers(mcs, nprb, workers)
+// sets the intra-subframe code-block parallelism (1 = serial); kernel
+// selects the turbo SISO arithmetic.
+func measureDecode(mcs phy.MCS, nprb, reps int, seed int64, workers int, kernel phy.DecodeKernel) (phy.StageTimings, error) {
+	proc, err := phy.NewTransportProcessorKernel(mcs, nprb, workers, kernel)
 	if err != nil {
 		return phy.StageTimings{}, err
 	}
@@ -106,7 +107,7 @@ func E1SubframeVsMCS(quick bool) (Result, error) {
 				row = append(row, "-")
 				continue
 			}
-			tm, err := measureDecode(mcs, nprb, reps, int64(mcs)*100+int64(nprb), 1)
+			tm, err := measureDecode(mcs, nprb, reps, int64(mcs)*100+int64(nprb), 1, phy.KernelFloat32)
 			if err != nil {
 				return res, err
 			}
@@ -118,7 +119,7 @@ func E1SubframeVsMCS(quick bool) (Result, error) {
 			res.Metrics[fmt.Sprintf("mcs%d_prb%d_ms", mcs, nprb)] = tm.Total().Seconds() * 1e3
 		}
 		if serial100 > 0 {
-			tm, err := measureDecode(mcs, 100, reps, int64(mcs)*100+100, parWorkers)
+			tm, err := measureDecode(mcs, 100, reps, int64(mcs)*100+100, parWorkers, phy.KernelFloat32)
 			if err != nil {
 				return res, err
 			}
@@ -161,7 +162,7 @@ func E2StageBreakdown(quick bool) (Result, error) {
 		return res, err
 	}
 	for _, mcs := range mcsGrid {
-		tm, err := measureDecode(mcs, 100, reps, int64(mcs)*977, 1)
+		tm, err := measureDecode(mcs, 100, reps, int64(mcs)*977, 1, phy.KernelFloat32)
 		if err != nil {
 			return res, err
 		}

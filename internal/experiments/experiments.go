@@ -1,5 +1,5 @@
 // Package experiments regenerates PRAN's evaluation: one function per
-// reconstructed table/figure (E1–E11, indexed in DESIGN.md §4). Each returns
+// reconstructed table/figure (E1–E12, indexed in DESIGN.md §4). Each returns
 // a Result whose rows cmd/pran-bench prints and whose headline numbers the
 // root bench_test.go reports as benchmark metrics. The quick flag trades
 // sweep breadth for runtime so `go test -bench` stays fast; the full sweeps
@@ -24,7 +24,7 @@ import (
 
 // Result is one experiment's regenerated table.
 type Result struct {
-	// ID is the experiment identifier (E1..E11).
+	// ID is the experiment identifier (E1..E12).
 	ID string
 	// Title describes the paper artifact the experiment reconstructs.
 	Title string
@@ -79,6 +79,7 @@ func All(quick bool) ([]Result, error) {
 		E9Controller,
 		E10HeadroomAblation,
 		E11ParallelSpeedup,
+		E12KernelAblation,
 	}
 	var out []Result
 	for _, fn := range runs {

@@ -202,6 +202,40 @@ func TestE10HeadroomShapes(t *testing.T) {
 	}
 }
 
+func TestE12KernelShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured DSP experiment")
+	}
+	r, err := E12KernelAblation(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The int16 kernel must beat float32 on the turbo stage at the
+	// provisioning corner (MCS 27, 100 PRB). Acceptance is ≥1.3x; assert
+	// a slightly looser 1.2x so a loaded CI host doesn't flake.
+	if s := r.Metrics["speedup_mcs27_turbo"]; s < 1.2 {
+		t.Fatalf("MCS-27 turbo speedup %.2fx below 1.2x", s)
+	}
+	// BLER parity: the int16 column must stay within the 0.2 dB accuracy
+	// budget, i.e. at or below the float32 kernel run 0.2 dB lower (with
+	// binomial slack for the quick trial count).
+	slack := 2.0 / 12
+	for _, mcs := range []int{4, 27} {
+		bi := r.Metrics[fmt.Sprintf("bler_mcs%d_i16", mcs)]
+		bref := r.Metrics[fmt.Sprintf("bler_mcs%d_f32_minus02db", mcs)]
+		if bi > bref+slack {
+			t.Fatalf("MCS %d int16 BLER %.3f exceeds 0.2 dB budget (ref %.3f)", mcs, bi, bref)
+		}
+	}
+	// The recalibrated cost model must not shrink the feasibility frontier.
+	if r.Metrics["feasible_mcs_i16"] < r.Metrics["feasible_mcs_f32"] {
+		t.Fatalf("int16 frontier below float32: %v", r.Metrics)
+	}
+	if len(r.Rows) != 2 || len(r.Header) != len(r.Rows[0]) || r.String() == "" {
+		t.Fatal("table malformed")
+	}
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{ID: "EX", Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}, Notes: []string{"n"}}
 	s := r.String()

@@ -24,6 +24,25 @@ func BenchmarkFFT2048(b *testing.B) {
 	}
 }
 
+// BenchmarkFFT2048Inverse exercises the precomputed inverse-twiddle path
+// (the forward/inverse butterflies are branch-identical since the conjugate
+// table replaced the per-butterfly `if inverse`).
+func BenchmarkFFT2048Inverse(b *testing.B) {
+	f, err := NewFFT(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := randSymbols(rng, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Inverse(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTurboEncodeK6144(b *testing.B) {
 	const k = 6144
 	enc, _ := NewTurboEncoder(k)
@@ -62,6 +81,50 @@ func BenchmarkTurboDecodeK6144(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dec.Decode(out, l0, l1, l2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTurboDecodeK6144Int16 is the quantized-kernel counterpart of
+// BenchmarkTurboDecodeK6144; the ratio between the two is the E12 headline.
+func BenchmarkTurboDecodeK6144Int16(b *testing.B) {
+	const k = 6144
+	enc, _ := NewTurboEncoder(k)
+	dec, _ := NewTurboDecoderKernel(k, KernelInt16)
+	dec.MaxIterations = 4
+	rng := rand.New(rand.NewSource(3))
+	input := randBits(rng, k)
+	d0 := make([]byte, k+4)
+	d1 := make([]byte, k+4)
+	d2 := make([]byte, k+4)
+	if err := enc.Encode(d0, d1, d2, input); err != nil {
+		b.Fatal(err)
+	}
+	l0, l1, l2 := bitsToLLR(d0, 2), bitsToLLR(d1, 2), bitsToLLR(d2, 2)
+	out := make([]byte, k)
+	b.SetBytes(int64(k) / 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(out, l0, l1, l2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModulate64QAM(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	bits := randBits(rng, 14400*6)
+	syms := make([]complex128, 0, len(bits)/6)
+	b.SetBytes(int64(len(bits)) / 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syms = syms[:0]
+		var err error
+		syms, err = Modulate(syms, bits, QAM64)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,9 +15,10 @@ import (
 // FFT size) at setup and reuses it for every symbol, so the hot path does
 // not allocate.
 type FFT struct {
-	n       int
-	twiddle []complex128 // twiddle[k] = exp(-2πik/n), k < n/2
-	rev     []int32      // bit-reversal permutation
+	n        int
+	twiddle  []complex128 // twiddle[k] = exp(-2πik/n), k < n/2
+	itwiddle []complex128 // conjugates, so Inverse has no per-butterfly branch
+	rev      []int32      // bit-reversal permutation
 }
 
 // NewFFT returns a plan for size n, which must be a power of two ≥ 2.
@@ -26,13 +27,15 @@ func NewFFT(n int) (*FFT, error) {
 		return nil, fmt.Errorf("phy: FFT size %d is not a power of two ≥ 2: %w", n, ErrBadParameter)
 	}
 	f := &FFT{
-		n:       n,
-		twiddle: make([]complex128, n/2),
-		rev:     make([]int32, n),
+		n:        n,
+		twiddle:  make([]complex128, n/2),
+		itwiddle: make([]complex128, n/2),
+		rev:      make([]int32, n),
 	}
 	for k := range f.twiddle {
 		ang := -2 * math.Pi * float64(k) / float64(n)
 		f.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+		f.itwiddle[k] = complex(math.Cos(ang), -math.Sin(ang))
 	}
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i := range f.rev {
@@ -49,7 +52,7 @@ func (f *FFT) Forward(x []complex128) error {
 	if len(x) != f.n {
 		return fmt.Errorf("phy: FFT input length %d != plan size %d: %w", len(x), f.n, ErrBadParameter)
 	}
-	f.transform(x, false)
+	f.transform(x, f.twiddle)
 	return nil
 }
 
@@ -59,7 +62,7 @@ func (f *FFT) Inverse(x []complex128) error {
 	if len(x) != f.n {
 		return fmt.Errorf("phy: FFT input length %d != plan size %d: %w", len(x), f.n, ErrBadParameter)
 	}
-	f.transform(x, true)
+	f.transform(x, f.itwiddle)
 	inv := complex(1/float64(f.n), 0)
 	for i := range x {
 		x[i] *= inv
@@ -67,7 +70,10 @@ func (f *FFT) Inverse(x []complex128) error {
 	return nil
 }
 
-func (f *FFT) transform(x []complex128, inverse bool) {
+// transform runs the iterative Cooley-Tukey butterflies against a twiddle
+// table (f.twiddle forward, f.itwiddle inverse); direction costs nothing in
+// the inner loop.
+func (f *FFT) transform(x []complex128, twiddle []complex128) {
 	n := f.n
 	// Bit-reversal permutation.
 	for i, r := range f.rev {
@@ -75,17 +81,13 @@ func (f *FFT) transform(x []complex128, inverse bool) {
 			x[i], x[r] = x[r], x[i]
 		}
 	}
-	// Iterative Cooley-Tukey butterflies.
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
 		for start := 0; start < n; start += size {
 			tw := 0
 			for k := start; k < start+half; k++ {
-				w := f.twiddle[tw]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
+				w := twiddle[tw]
 				t := w * x[k+half]
 				x[k+half] = x[k] - t
 				x[k] = x[k] + t

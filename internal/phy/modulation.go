@@ -56,7 +56,24 @@ var (
 		+3 / math.Sqrt(42), +1 / math.Sqrt(42), +5 / math.Sqrt(42), +7 / math.Sqrt(42),
 		-3 / math.Sqrt(42), -1 / math.Sqrt(42), -5 / math.Sqrt(42), -7 / math.Sqrt(42),
 	}
+
+	// Unit level spacings the closed-form LLRs are written in terms of.
+	qpskA  = 1 / math.Sqrt2
+	qam16A = 1 / math.Sqrt(10)
+	qam64A = 1 / math.Sqrt(42)
 )
+
+// levelTable returns the per-axis PAM levels for a validated constellation.
+func levelTable(m Modulation) []float64 {
+	switch m {
+	case QPSK:
+		return qpskLevel[:]
+	case QAM16:
+		return qam16Level[:]
+	default:
+		return qam64Level[:]
+	}
+}
 
 // Modulate maps bits (len must be a multiple of Qm) to complex symbols,
 // appending to dst and returning it. LTE interleaves axis bits: for Qm=2k the
@@ -69,22 +86,14 @@ func Modulate(dst []complex128, bits []byte, m Modulation) ([]complex128, error)
 	if len(bits)%qm != 0 {
 		return dst, fmt.Errorf("phy: bit count %d not a multiple of Qm=%d: %w", len(bits), qm, ErrBadParameter)
 	}
+	levels := levelTable(m) // hoisted: no per-symbol constellation switch
 	for i := 0; i < len(bits); i += qm {
 		var iIdx, qIdx int
 		for k := 0; k < qm; k += 2 {
 			iIdx = iIdx<<1 | int(bits[i+k]&1)
 			qIdx = qIdx<<1 | int(bits[i+k+1]&1)
 		}
-		var re, im float64
-		switch m {
-		case QPSK:
-			re, im = qpskLevel[iIdx], qpskLevel[qIdx]
-		case QAM16:
-			re, im = qam16Level[iIdx], qam16Level[qIdx]
-		case QAM64:
-			re, im = qam64Level[iIdx], qam64Level[qIdx]
-		}
-		dst = append(dst, complex(re, im))
+		dst = append(dst, complex(levels[iIdx], levels[qIdx]))
 	}
 	return dst, nil
 }
@@ -92,9 +101,11 @@ func Modulate(dst []complex128, bits []byte, m Modulation) ([]complex128, error)
 // Demodulate computes per-bit log-likelihood ratios for received symbols
 // under AWGN with per-dimension noise variance n0/2 (n0 = total complex noise
 // power). Positive LLR means bit 0 is more likely, matching the turbo
-// decoder's convention. Max-log approximation: LLR = (min over bit=1 points −
-// min over bit=0 points)/… computed per axis since square QAM axes are
-// independent. Results are appended to dst.
+// decoder's convention. Max-log approximation computed per axis (square QAM
+// axes are independent) in closed form: for Gray-mapped PAM the max-log LLR
+// of each axis bit is an exact piecewise-linear function of the received
+// coordinate, so no scan over constellation points is needed. The test suite
+// keeps the scan as an oracle and pins equality. Results are appended to dst.
 func Demodulate(dst []float32, syms []complex128, m Modulation, n0 float64) ([]float32, error) {
 	if err := m.Validate(); err != nil {
 		return dst, err
@@ -103,48 +114,100 @@ func Demodulate(dst []float32, syms []complex128, m Modulation, n0 float64) ([]f
 		n0 = 1e-9
 	}
 	invN0 := 2 / n0 // per-axis noise variance is n0/2
-	half := m.BitsPerSymbol() / 2
-	var iLLR, qLLR [3]float32 // up to 64-QAM: 3 bits per axis
-	for _, s := range syms {
-		re, im := real(s), imag(s)
-		for k := 0; k < half; k++ {
-			iLLR[k] = axisLLR(re, m, k, half, invN0)
-			qLLR[k] = axisLLR(im, m, k, half, invN0)
+	// Transmitted ordering interleaves axis bits: b0(I) b1(Q) b2(I) ...
+	switch m {
+	case QPSK:
+		c := 4 * qpskA * invN0
+		for _, s := range syms {
+			dst = append(dst, float32(c*real(s)), float32(c*imag(s)))
 		}
-		// Transmitted ordering interleaves axis bits: b0(I) b1(Q) b2(I) ...
-		for k := 0; k < half; k++ {
-			dst = append(dst, iLLR[k], qLLR[k])
+	case QAM16:
+		for _, s := range syms {
+			i0, i1 := qam16AxisLLR(real(s))
+			q0, q1 := qam16AxisLLR(imag(s))
+			dst = append(dst,
+				float32(i0*invN0), float32(q0*invN0),
+				float32(i1*invN0), float32(q1*invN0))
+		}
+	case QAM64:
+		for _, s := range syms {
+			i0, i1, i2 := qam64AxisLLR(real(s))
+			q0, q1, q2 := qam64AxisLLR(imag(s))
+			dst = append(dst,
+				float32(i0*invN0), float32(q0*invN0),
+				float32(i1*invN0), float32(q1*invN0),
+				float32(i2*invN0), float32(q2*invN0))
 		}
 	}
 	return dst, nil
 }
 
-// axisLLR computes the max-log LLR of the k-th bit (0 = MSB) on one PAM axis
-// with received coordinate x.
-func axisLLR(x float64, m Modulation, k, half int, invN0 float64) float32 {
-	var levels []float64
-	switch m {
-	case QPSK:
-		levels = qpskLevel[:]
-	case QAM16:
-		levels = qam16Level[:]
-	case QAM64:
-		levels = qam64Level[:]
+// qam16AxisLLR returns the two per-axis max-log bit metrics (before the
+// 1/noise scaling) for Gray-mapped 4-PAM with levels ±a, ±3a. The MSB metric
+// is odd-symmetric and saturates in slope past the outer decision boundary;
+// the LSB metric is a tent around ±2a.
+func qam16AxisLLR(x float64) (l0, l1 float64) {
+	a := qam16A
+	y := x
+	if y < 0 {
+		y = -y
 	}
-	min0 := math.Inf(1)
-	min1 := math.Inf(1)
-	for idx, lv := range levels {
-		d := x - lv
-		met := d * d
-		if (idx>>uint(half-1-k))&1 == 0 {
-			if met < min0 {
-				min0 = met
-			}
-		} else if met < min1 {
-			min1 = met
+	switch {
+	case x > 2*a:
+		l0 = 8*a*x - 8*a*a
+	case x < -2*a:
+		l0 = 8*a*x + 8*a*a
+	default:
+		l0 = 4 * a * x
+	}
+	l1 = 4 * a * (2*a - y)
+	return l0, l1
+}
+
+// qam64AxisLLR returns the three per-axis max-log bit metrics (before the
+// 1/noise scaling) for Gray-mapped 8-PAM with levels ±a..±7a: the MSB is a
+// four-segment odd-symmetric ramp, the middle bit a piecewise tent around
+// ±4a, the LSB a double tent with peaks at ±2a and ±6a.
+func qam64AxisLLR(x float64) (l0, l1, l2 float64) {
+	a := qam64A
+	y := x
+	if y < 0 {
+		y = -y
+	}
+	a2 := a * a
+	switch {
+	case y <= 2*a:
+		l0 = 4 * a * x
+	case y <= 4*a:
+		l0 = 8*a*x - 8*a2
+		if x < 0 {
+			l0 = 8*a*x + 8*a2
+		}
+	case y <= 6*a:
+		l0 = 12*a*x - 24*a2
+		if x < 0 {
+			l0 = 12*a*x + 24*a2
+		}
+	default:
+		l0 = 16*a*x - 48*a2
+		if x < 0 {
+			l0 = 16*a*x + 48*a2
 		}
 	}
-	return float32((min1 - min0) * invN0)
+	switch {
+	case y <= 2*a:
+		l1 = 24*a2 - 8*a*y
+	case y <= 6*a:
+		l1 = 16*a2 - 4*a*y
+	default:
+		l1 = 40*a2 - 8*a*y
+	}
+	if y <= 4*a {
+		l2 = 4*a*y - 8*a2
+	} else {
+		l2 = 24*a2 - 4*a*y
+	}
+	return l0, l1, l2
 }
 
 // HardDecision converts LLRs to bits using the positive-LLR⇒0 convention,

@@ -143,3 +143,64 @@ func TestModDemodQuickUnderLightNoise(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// axisLLRScan is the retired scan-based max-log axis LLR (min squared
+// distance over bit-0 vs bit-1 constellation points), kept as the oracle the
+// closed-form piecewise-linear LLRs in Demodulate are pinned against.
+func axisLLRScan(x float64, m Modulation, k, half int, invN0 float64) float32 {
+	levels := levelTable(m)
+	min0 := math.Inf(1)
+	min1 := math.Inf(1)
+	for idx, lv := range levels {
+		d := x - lv
+		met := d * d
+		if (idx>>uint(half-1-k))&1 == 0 {
+			if met < min0 {
+				min0 = met
+			}
+		} else if met < min1 {
+			min1 = met
+		}
+	}
+	return float32((min1 - min0) * invN0)
+}
+
+// TestClosedFormLLRMatchesScanOracle pins the closed-form Demodulate against
+// the exhaustive scan across all three constellations, over both random
+// received points (wide spread, covering every piecewise segment and the
+// saturating outer regions) and a dense deterministic grid.
+func TestClosedFormLLRMatchesScanOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+		half := m.BitsPerSymbol() / 2
+		var syms []complex128
+		for i := 0; i < 400; i++ {
+			syms = append(syms, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		for x := -2.0; x <= 2.0; x += 0.01 {
+			syms = append(syms, complex(x, -x))
+		}
+		for _, n0 := range []float64{0.02, 0.5, 3.0} {
+			llr, err := Demodulate(nil, syms, m, n0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			invN0 := 2 / n0
+			for si, s := range syms {
+				for k := 0; k < half; k++ {
+					wantI := axisLLRScan(real(s), m, k, half, invN0)
+					wantQ := axisLLRScan(imag(s), m, k, half, invN0)
+					gotI := llr[si*m.BitsPerSymbol()+2*k]
+					gotQ := llr[si*m.BitsPerSymbol()+2*k+1]
+					for _, p := range []struct{ got, want float32 }{{gotI, wantI}, {gotQ, wantQ}} {
+						tol := 1e-5 * math.Max(1, math.Abs(float64(p.want)))
+						if math.Abs(float64(p.got-p.want)) > tol {
+							t.Fatalf("%v n0=%v sym %v bit %d: closed-form %v, scan %v",
+								m, n0, s, k, p.got, p.want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -56,9 +56,17 @@ type ParallelDecoder struct {
 }
 
 // NewParallelDecoder returns a decoder pool for turbo block size k with the
-// given parallelism (≥ 1). workers-1 resident helper goroutines are started;
-// call Close to release them.
+// given parallelism (≥ 1), using the default float32 kernel. workers-1
+// resident helper goroutines are started; call Close to release them.
 func NewParallelDecoder(k, workers int) (*ParallelDecoder, error) {
+	return NewParallelDecoderKernel(k, workers, KernelFloat32)
+}
+
+// NewParallelDecoderKernel is NewParallelDecoder with an explicit SISO
+// kernel. Every per-worker TurboDecoder runs the same kernel; each owns its
+// private (per-kernel) working buffers, so kernel state is worker-resident
+// and never shared.
+func NewParallelDecoderKernel(k, workers int, kernel DecodeKernel) (*ParallelDecoder, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("phy: %d parallel decode workers: %w", workers, ErrBadParameter)
 	}
@@ -67,7 +75,7 @@ func NewParallelDecoder(k, workers int) (*ParallelDecoder, error) {
 		wake:    make(chan struct{}),
 	}
 	for i := 0; i < workers; i++ {
-		dec, err := NewTurboDecoder(k)
+		dec, err := NewTurboDecoderKernel(k, kernel)
 		if err != nil {
 			return nil, err
 		}
@@ -81,6 +89,9 @@ func NewParallelDecoder(k, workers int) (*ParallelDecoder, error) {
 
 // Workers returns the configured parallelism (including the caller).
 func (pd *ParallelDecoder) Workers() int { return pd.workers }
+
+// Kernel returns the SISO kernel the per-worker decoders run.
+func (pd *ParallelDecoder) Kernel() DecodeKernel { return pd.decs[0].Kernel() }
 
 // K returns the turbo block size.
 func (pd *ParallelDecoder) K() int { return pd.decs[0].K() }

@@ -25,11 +25,12 @@ import (
 // processor with workers > 1 must be Closed to release its helper
 // goroutines. See docs/concurrency.md for the end-to-end threading model.
 type TransportProcessor struct {
-	mcs  MCS
-	nprb int
-	tbs  int // payload bits
-	e    int // total coded bits
-	seg  Segmentation
+	mcs    MCS
+	nprb   int
+	tbs    int // payload bits
+	e      int // total coded bits
+	seg    Segmentation
+	kernel DecodeKernel
 
 	enc *TurboEncoder
 	dec *TurboDecoder
@@ -169,8 +170,20 @@ func NewTransportProcessor(mcs MCS, nprb int) (*TransportProcessor, error) {
 // workers > 1 keeps resident helper goroutines that Close releases. The
 // decoded output is bit-identical across worker counts.
 func NewTransportProcessorWorkers(mcs MCS, nprb, workers int) (*TransportProcessor, error) {
+	return NewTransportProcessorKernel(mcs, nprb, workers, KernelFloat32)
+}
+
+// NewTransportProcessorKernel is NewTransportProcessorWorkers with an
+// explicit turbo SISO kernel; every decoder the processor owns (serial or
+// per-worker) runs that kernel. HARQ soft buffers remain float32 regardless
+// of kernel — quantization happens at the turbo decoder's ingest — so the
+// soft-combining wire format is kernel-independent.
+func NewTransportProcessorKernel(mcs MCS, nprb, workers int, kernel DecodeKernel) (*TransportProcessor, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("phy: %d decode workers: %w", workers, ErrBadParameter)
+	}
+	if err := kernel.Validate(); err != nil {
+		return nil, err
 	}
 	tbs, err := mcs.TransportBlockSize(nprb)
 	if err != nil {
@@ -189,7 +202,7 @@ func NewTransportProcessorWorkers(mcs MCS, nprb, workers int) (*TransportProcess
 	if workers == 1 {
 		// The parallel decoder owns per-worker decoders; only the serial
 		// path needs the processor-level one.
-		dec, err = NewTurboDecoder(seg.K)
+		dec, err = NewTurboDecoderKernel(seg.K, kernel)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +213,7 @@ func NewTransportProcessorWorkers(mcs MCS, nprb, workers int) (*TransportProcess
 	}
 	e := mcs.CodedBits(nprb)
 	p := &TransportProcessor{
-		mcs: mcs, nprb: nprb, tbs: tbs, e: e, seg: seg,
+		mcs: mcs, nprb: nprb, tbs: tbs, e: e, seg: seg, kernel: kernel,
 		enc: enc, dec: dec, rm: rm, scr: NewScrambler(0),
 		tbBits:   make([]byte, b),
 		blockBuf: make([]byte, seg.K),
@@ -219,7 +232,7 @@ func NewTransportProcessorWorkers(mcs MCS, nprb, workers int) (*TransportProcess
 	}
 	p.softBuf = p.NewSoftBuffer()
 	if workers > 1 {
-		p.par, err = NewParallelDecoder(seg.K, workers)
+		p.par, err = NewParallelDecoderKernel(seg.K, workers, kernel)
 		if err != nil {
 			return nil, err
 		}
@@ -234,6 +247,9 @@ func (p *TransportProcessor) Workers() int {
 	}
 	return p.par.Workers()
 }
+
+// Kernel returns the turbo SISO kernel the processor decodes with.
+func (p *TransportProcessor) Kernel() DecodeKernel { return p.kernel }
 
 // Close releases the resident decode goroutines of a parallel processor. It
 // is a no-op for serial processors and must not race an in-flight Decode.

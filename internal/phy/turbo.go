@@ -166,8 +166,11 @@ func runRSC(input, parity []byte, xt, zt *[turboTail]byte) {
 // allocation, keeping the data-plane hot path GC-quiet. A TurboDecoder is
 // not safe for concurrent use; the data plane keeps one per worker.
 type TurboDecoder struct {
-	q *QPPInterleaver
+	q      *QPPInterleaver
+	kernel DecodeKernel
 	// Soft inputs split per constituent, each length K+3 trellis steps.
+	// The float32 buffers exist only for KernelFloat32; KernelInt16 keeps
+	// its quantized working set in i16 instead (never both).
 	ls1, lp1 []float32 // systematic & parity, natural order
 	ls2, lp2 []float32 // systematic (interleaved) & parity
 	apri     []float32 // a-priori input to the running constituent
@@ -175,6 +178,7 @@ type TurboDecoder struct {
 	ext2     []float32 // extrinsic from decoder 2 (interleaved order)
 	alpha    []float32 // (steps+1)×8 forward metrics
 	beta     []float32 // (steps+1)×8 backward metrics
+	i16      *i16Buffers
 	hard     []byte
 
 	// MaxIterations bounds full decoder iterations (default 8).
@@ -187,31 +191,52 @@ type TurboDecoder struct {
 	iterationsUsed int
 }
 
-// NewTurboDecoder returns a decoder for block size k.
+// NewTurboDecoder returns a decoder for block size k using the default
+// float32 kernel.
 func NewTurboDecoder(k int) (*TurboDecoder, error) {
+	return NewTurboDecoderKernel(k, KernelFloat32)
+}
+
+// NewTurboDecoderKernel returns a decoder for block size k running the given
+// SISO kernel. Only the selected kernel's working buffers are allocated; the
+// kernel is fixed for the decoder's lifetime.
+func NewTurboDecoderKernel(k int, kernel DecodeKernel) (*TurboDecoder, error) {
+	if err := kernel.Validate(); err != nil {
+		return nil, err
+	}
 	q, err := NewQPPInterleaver(k)
 	if err != nil {
 		return nil, err
 	}
-	steps := k + turboTail
-	return &TurboDecoder{
+	d := &TurboDecoder{
 		q:             q,
-		ls1:           make([]float32, steps),
-		lp1:           make([]float32, steps),
-		ls2:           make([]float32, steps),
-		lp2:           make([]float32, steps),
-		apri:          make([]float32, k),
-		ext1:          make([]float32, k),
-		ext2:          make([]float32, k),
-		alpha:         make([]float32, (steps+1)*turboStates),
-		beta:          make([]float32, (steps+1)*turboStates),
+		kernel:        kernel,
 		hard:          make([]byte, k),
 		MaxIterations: 8,
-	}, nil
+	}
+	steps := k + turboTail
+	switch kernel {
+	case KernelInt16:
+		d.i16 = newI16Buffers(k)
+	default:
+		d.ls1 = make([]float32, steps)
+		d.lp1 = make([]float32, steps)
+		d.ls2 = make([]float32, steps)
+		d.lp2 = make([]float32, steps)
+		d.apri = make([]float32, k)
+		d.ext1 = make([]float32, k)
+		d.ext2 = make([]float32, k)
+		d.alpha = make([]float32, (steps+1)*turboStates)
+		d.beta = make([]float32, (steps+1)*turboStates)
+	}
+	return d, nil
 }
 
 // K returns the block size.
 func (d *TurboDecoder) K() int { return d.q.K }
+
+// Kernel returns the SISO kernel this decoder was constructed with.
+func (d *TurboDecoder) Kernel() DecodeKernel { return d.kernel }
 
 // IterationsUsed reports how many full iterations the last Decode consumed;
 // the cluster cost model uses it to attribute per-block compute.
@@ -229,6 +254,9 @@ func (d *TurboDecoder) Decode(out []byte, ld0, ld1, ld2 []float32) (int, error) 
 	}
 	if len(ld0) != k+4 || len(ld1) != k+4 || len(ld2) != k+4 {
 		return 0, fmt.Errorf("phy: decode input streams must each be K+4=%d: %w", k+4, ErrBadParameter)
+	}
+	if d.kernel == KernelInt16 {
+		return d.decodeI16(out, ld0, ld1, ld2)
 	}
 	// Demultiplex data and tails into per-constituent streams.
 	copy(d.ls1[:k], ld0[:k])
