@@ -102,3 +102,11 @@ func BenchmarkE11_ParallelSpeedup(b *testing.B) {
 func BenchmarkE12_KernelAblation(b *testing.B) {
 	report(b, experiments.E12KernelAblation)
 }
+
+// BenchmarkE13_FrontEndAblation regenerates the decode front-end ablation:
+// fused single-pass vs staged demod→descramble→dematch speedup, the
+// end-to-end gain per turbo kernel, and the per-front-end feasibility
+// frontier.
+func BenchmarkE13_FrontEndAblation(b *testing.B) {
+	report(b, experiments.E13FrontEndAblation)
+}

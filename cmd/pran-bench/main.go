@@ -1,5 +1,5 @@
 // Command pran-bench regenerates the PRAN evaluation: every reconstructed
-// table and figure (E1–E12, indexed in DESIGN.md §4) as printable tables.
+// table and figure (E1–E13, indexed in DESIGN.md §4) as printable tables.
 //
 // Usage:
 //
@@ -8,6 +8,7 @@
 //	pran-bench -run E4        # one experiment
 //	pran-bench -list          # list experiment IDs
 //	pran-bench -json outdir   # additionally write BENCH_<id>.json per result
+//	pran-bench -cpuprofile cpu.out -run E13   # profile one experiment
 package main
 
 import (
@@ -16,16 +17,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pran/internal/experiments"
 )
 
 func main() {
+	// Exit status is decided inside run so its defers (profile writers)
+	// execute — os.Exit here would skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
-	run := flag.String("run", "", "run a single experiment by ID (E1..E12)")
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E13)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonDir := flag.String("json", "", "directory to write per-experiment BENCH_<id>.json files (empty disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	table := []struct {
@@ -44,19 +55,48 @@ func main() {
 		{"E10", experiments.E10HeadroomAblation},
 		{"E11", experiments.E11ParallelSpeedup},
 		{"E12", experiments.E12KernelAblation},
+		{"E13", experiments.E13FrontEndAblation},
 	}
 
 	if *list {
 		for _, e := range table {
 			fmt.Println(e.id)
 		}
-		return
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	failed := false
 	matched := false
 	for _, e := range table {
-		if *run != "" && !strings.EqualFold(*run, e.id) {
+		if *runID != "" && !strings.EqualFold(*runID, e.id) {
 			continue
 		}
 		matched = true
@@ -75,12 +115,13 @@ func main() {
 		}
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *run)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *runID)
+		return 2
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // writeJSON persists one result as BENCH_<id>.json in dir, creating the

@@ -112,6 +112,45 @@ func Calibrate() (CostModel, error) {
 		m.DematchPerBit = time.Since(start).Seconds() / float64(reps) / float64(e)
 	}
 
+	// Fused front-end per RE for each constellation: run a serial fused
+	// TransportProcessor over a representative allocation per modulation and
+	// read the measured Timings.FrontEnd, which covers the whole single pass
+	// (demod + descramble sign-fold + soft de-rate-match scatter).
+	for _, cfg := range []struct {
+		mcs  phy.MCS
+		coef *float64
+	}{
+		{4, &m.FusedPerREQPSK},   // QPSK
+		{13, &m.FusedPerRE16QAM}, // 16-QAM
+		{22, &m.FusedPerRE64QAM}, // 64-QAM
+	} {
+		const nprb = 50
+		p, err := phy.NewTransportProcessor(cfg.mcs, nprb)
+		if err != nil {
+			return m, fmt.Errorf("cluster: calibrate fused front-end: %w", err)
+		}
+		payload := make([]byte, p.TransportBlockSize())
+		for i := range payload {
+			payload[i] = byte(rng.Intn(2))
+		}
+		syms, err := p.Encode(payload, 9, 301, 2, 0)
+		if err != nil {
+			return m, err
+		}
+		ch := phy.NewAWGNChannel(cfg.mcs.OperatingSNR()+5, 99)
+		rx := append([]complex128(nil), syms...)
+		ch.Apply(rx)
+		reps := 20
+		var el time.Duration
+		for i := 0; i < reps; i++ {
+			if _, err := p.Decode(rx, ch.N0(), 9, 301, 2, 0, nil); err != nil {
+				return m, err
+			}
+			el += p.Timings.FrontEnd
+		}
+		*cfg.coef = el.Seconds() / float64(reps) / float64(p.NumSymbols())
+	}
+
 	// Turbo decoding per information bit per iteration, measured once per
 	// kernel: fixed iteration count, no early termination.
 	{

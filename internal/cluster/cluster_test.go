@@ -285,6 +285,42 @@ func TestCostModelKernelSelection(t *testing.T) {
 	}
 }
 
+func TestCostModelFrontEndSelection(t *testing.T) {
+	m := DefaultCostModel()
+	a := frame.Allocation{RNTI: 1, FirstPRB: 0, NumPRB: 100, MCS: 27, SNRdB: phy.MCS(27).OperatingSNR()}
+	fused := m.AllocCost(a) // FrontEndFused is the zero value, the default
+	staged := m.WithFrontEnd(phy.FrontEndStaged).AllocCost(a)
+	if fused >= staged {
+		t.Fatalf("fused alloc cost %v not below staged %v", fused, staged)
+	}
+	// WithFrontEnd is a copy: the receiver must keep its front-end.
+	if m.FrontEnd != phy.FrontEndFused {
+		t.Fatal("WithFrontEnd mutated the receiver")
+	}
+	// In the parallel service-time model the fused front-end additionally
+	// overlaps turbo decoding, so the gap must widen relative to staged.
+	fusedW := m.AllocCostWorkers(a, 4)
+	stagedW := m.WithFrontEnd(phy.FrontEndStaged).AllocCostWorkers(a, 4)
+	if fusedW >= stagedW {
+		t.Fatalf("fused parallel cost %v not below staged %v", fusedW, stagedW)
+	}
+	if stagedW-fusedW <= staged-fused {
+		t.Fatalf("parallel fused gap %v not wider than serial gap %v",
+			stagedW-fusedW, staged-fused)
+	}
+	// A zero fused coefficient or a bogus front-end must fail validation.
+	bad := m
+	bad.FusedPerRE64QAM = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero FusedPerRE64QAM accepted")
+	}
+	bad = m
+	bad.FrontEnd = phy.FrontEnd(9)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bogus front-end accepted")
+	}
+}
+
 func TestCalibrateMeasuresBothKernels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("measured calibration")
@@ -296,5 +332,23 @@ func TestCalibrateMeasuresBothKernels(t *testing.T) {
 	if m.TurboPerBitIterI16 <= 0 || m.TurboPerBitIterI16 >= m.TurboPerBitIter {
 		t.Fatalf("calibrated int16 turbo coefficient %.3g not below float32 %.3g",
 			m.TurboPerBitIterI16, m.TurboPerBitIter)
+	}
+	// The fused front-end coefficients must come out positive and below the
+	// staged per-RE totals they replace (demod + per-RE share of the
+	// descramble/dematch bit costs).
+	for _, c := range []struct {
+		name         string
+		fused, demod float64
+		bits         float64 // coded bits per RE
+	}{
+		{"qpsk", m.FusedPerREQPSK, m.DemodPerREQPSK, 2},
+		{"16qam", m.FusedPerRE16QAM, m.DemodPerRE16QAM, 4},
+		{"64qam", m.FusedPerRE64QAM, m.DemodPerRE64QAM, 6},
+	} {
+		staged := c.demod + c.bits*(m.DescramblePerBit+m.DematchPerBit)
+		if c.fused <= 0 || c.fused >= staged {
+			t.Fatalf("calibrated fused %s coefficient %.3g not below staged %.3g",
+				c.name, c.fused, staged)
+		}
 	}
 }

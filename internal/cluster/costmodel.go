@@ -42,6 +42,15 @@ type CostModel struct {
 	DescramblePerBit float64
 	// DematchPerBit is the soft de-rate-matching cost per coded bit.
 	DematchPerBit float64
+	// FusedPerREQPSK/16/64 is the all-in cost per resource element of the
+	// fused decode front-end (phy.FrontEndFused), which replaces the three
+	// staged sweeps (demodulate + descramble + de-rate-match) with one
+	// word-oriented pass. Charged instead of — never in addition to — the
+	// DemodPerRE*/DescramblePerBit/DematchPerBit coefficients when FrontEnd
+	// is FrontEndFused.
+	FusedPerREQPSK  float64
+	FusedPerRE16QAM float64
+	FusedPerRE64QAM float64
 	// TurboPerBitIter is the turbo-decode cost per information bit per
 	// full iteration with the float32 reference kernel — the dominant
 	// coefficient.
@@ -65,12 +74,24 @@ type CostModel struct {
 	// plane's actual decode arithmetic. Use WithKernel to derive a model
 	// for the other kernel.
 	Kernel phy.DecodeKernel
+	// FrontEnd selects which front-end coefficients the cost queries use
+	// (phy.FrontEndFused — the zero value — or phy.FrontEndStaged),
+	// mirroring dataplane.Config.FrontEnd. Use WithFrontEnd to derive a
+	// model for the other front-end.
+	FrontEnd phy.FrontEnd
 }
 
 // WithKernel returns a copy of the model whose cost queries charge turbo
 // decoding at the given kernel's calibrated coefficient.
 func (m CostModel) WithKernel(k phy.DecodeKernel) CostModel {
 	m.Kernel = k
+	return m
+}
+
+// WithFrontEnd returns a copy of the model whose cost queries charge the
+// decode front-end at the given variant's calibrated coefficients.
+func (m CostModel) WithFrontEnd(fe phy.FrontEnd) CostModel {
+	m.FrontEnd = fe
 	return m
 }
 
@@ -94,6 +115,9 @@ func DefaultCostModel() CostModel {
 		DemodPerRE64QAM:    45e-9,
 		DescramblePerBit:   1.2e-9,
 		DematchPerBit:      2.5e-9,
+		FusedPerREQPSK:     11e-9,
+		FusedPerRE16QAM:    20e-9,
+		FusedPerRE64QAM:    33e-9,
 		TurboPerBitIter:    28e-9,
 		TurboPerBitIterI16: 9e-9,
 		CRCPerBit:          0.8e-9,
@@ -106,12 +130,17 @@ func DefaultCostModel() CostModel {
 func (m CostModel) Validate() error {
 	for _, v := range []float64{
 		m.FFTPerButterfly, m.DemodPerREQPSK, m.DemodPerRE16QAM, m.DemodPerRE64QAM,
-		m.DescramblePerBit, m.DematchPerBit, m.TurboPerBitIter, m.TurboPerBitIterI16,
+		m.DescramblePerBit, m.DematchPerBit,
+		m.FusedPerREQPSK, m.FusedPerRE16QAM, m.FusedPerRE64QAM,
+		m.TurboPerBitIter, m.TurboPerBitIterI16,
 		m.CRCPerBit, m.EncodePerBit, m.DispatchPerBlock,
 	} {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("cluster: non-positive cost coefficient: %w", phy.ErrBadParameter)
 		}
+	}
+	if err := m.FrontEnd.Validate(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
 	}
 	return nil
 }
@@ -126,6 +155,29 @@ func (m CostModel) demodPerRE(mod phy.Modulation) float64 {
 	default:
 		return m.DemodPerREQPSK
 	}
+}
+
+// fusedPerRE selects the per-RE fused front-end coefficient.
+func (m CostModel) fusedPerRE(mod phy.Modulation) float64 {
+	switch mod {
+	case phy.QAM16:
+		return m.FusedPerRE16QAM
+	case phy.QAM64:
+		return m.FusedPerRE64QAM
+	default:
+		return m.FusedPerREQPSK
+	}
+}
+
+// frontEndSec returns the decode front-end cost (everything between the
+// received symbols and turbo-ready soft streams) for res resource elements
+// carrying codedBits coded bits: one fused pass, or the staged
+// demodulate + descramble + de-rate-match sweeps, per the model's FrontEnd.
+func (m CostModel) frontEndSec(res, codedBits float64, mod phy.Modulation) float64 {
+	if m.FrontEnd == phy.FrontEndFused {
+		return res * m.fusedPerRE(mod)
+	}
+	return res*m.demodPerRE(mod) + codedBits*(m.DescramblePerBit+m.DematchPerBit)
 }
 
 // ExpectedTurboIterations models how many full turbo iterations a decode
@@ -155,8 +207,8 @@ func (m CostModel) CellOverhead(bw phy.Bandwidth, antennas int) time.Duration {
 }
 
 // AllocCost returns the uplink processing cost of one UE allocation on a
-// reference core: demodulation + descrambling + de-rate-matching + turbo
-// decoding + CRC.
+// reference core: the decode front-end (one fused pass, or staged
+// demodulation + descrambling + de-rate-matching) + turbo decoding + CRC.
 func (m CostModel) AllocCost(a frame.Allocation) time.Duration {
 	res := float64(a.NumPRB * phy.DataREsPerPRB)
 	qm := float64(a.MCS.Modulation().BitsPerSymbol())
@@ -167,19 +219,22 @@ func (m CostModel) AllocCost(a frame.Allocation) time.Duration {
 	}
 	infoBits := float64(tbs + 24)
 	iters := ExpectedTurboIterations(a.MCS, a.SNRdB)
-	sec := res*m.demodPerRE(a.MCS.Modulation()) +
-		codedBits*(m.DescramblePerBit+m.DematchPerBit) +
+	sec := m.frontEndSec(res, codedBits, a.MCS.Modulation()) +
 		infoBits*iters*m.turboCoeff() +
 		infoBits*m.CRCPerBit
 	return time.Duration(sec * float64(time.Second))
 }
 
 // AllocCostWorkers returns the uplink *service time* of one UE allocation
-// when its turbo decode fans across workers parallel decoders (the knob
-// dataplane.Config.DecodeWorkers sets). Only the turbo stage parallelizes —
+// when its decode fans across workers parallel decoders (the knob
+// dataplane.Config.DecodeWorkers sets). What parallelizes depends on the
+// front-end: with the staged pipeline only the turbo stage fans out —
 // demodulation, descrambling, de-rate-matching and CRC stay serial on the
-// owning worker — and the fan-out is block-granular, so the turbo makespan
-// is ceil(C/effective) block times plus a per-handoff dispatch cost. With
+// owning worker — while the fused front-end runs per code block on the
+// claiming worker, so front-end work overlaps turbo decoding and only the
+// CRC remains serial (the Amdahl ceiling the fused path exists to lift).
+// Fan-out is block-granular either way: the parallel makespan is
+// ceil(C/effective) block times plus a per-handoff dispatch cost. With
 // workers=1 this equals AllocCost. Note this is latency, not compute: total
 // core-seconds consumed only grow (by the dispatch overhead); what shrinks
 // is the time-to-deadline, which is what HARQ feasibility is about.
@@ -200,16 +255,20 @@ func (m CostModel) AllocCostWorkers(a frame.Allocation, workers int) time.Durati
 	codedBits := res * qm
 	infoBits := float64(tbs + 24)
 	iters := ExpectedTurboIterations(a.MCS, a.SNRdB)
-	serial := res*m.demodPerRE(a.MCS.Modulation()) +
-		codedBits*(m.DescramblePerBit+m.DematchPerBit) +
-		infoBits*m.CRCPerBit
-	turbo := infoBits * iters * m.turboCoeff()
+	frontEnd := m.frontEndSec(res, codedBits, a.MCS.Modulation())
+	serial := infoBits * m.CRCPerBit
+	perBlockWork := infoBits * iters * m.turboCoeff()
+	if m.FrontEnd == phy.FrontEndFused {
+		perBlockWork += frontEnd
+	} else {
+		serial += frontEnd
+	}
 	eff := workers
 	if seg.C < eff {
 		eff = seg.C
 	}
 	batches := (seg.C + eff - 1) / eff
-	perBlock := turbo / float64(seg.C)
+	perBlock := perBlockWork / float64(seg.C)
 	sec := serial + perBlock*float64(batches) + m.DispatchPerBlock*float64(eff-1)
 	return time.Duration(sec * float64(time.Second))
 }

@@ -449,3 +449,66 @@ func TestConfigRejectsBadKernel(t *testing.T) {
 		t.Fatal("invalid decode kernel accepted")
 	}
 }
+
+func TestPoolDrainEventDriven(t *testing.T) {
+	// Drain must wake promptly when the pool quiesces and must be safe with
+	// concurrent drainers and submitters (race-detector coverage for the
+	// idle condition variable).
+	pool := testPool(t, Config{Workers: 2, DeadlineScale: 1000})
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 4,
+		Allocations: []frame.Allocation{
+			{RNTI: 1, FirstPRB: 0, NumPRB: 2, MCS: 4, SNRdB: 20},
+			{RNTI: 2, FirstPRB: 2, NumPRB: 2, MCS: 4, SNRdB: 20},
+		},
+	}
+	cfg := testCellConfig()
+	rrh, _ := NewRRHEmulator(cfg, 5)
+	cp, _ := NewCellProcessor(cfg, pool)
+	for round := 0; round < 5; round++ {
+		payloads, _ := rrh.RandomPayloads(work)
+		samples, _ := rrh.Emit(work, payloads)
+		if err := cp.IngestSubframe(samples, work, nil); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for d := 0; d < 3; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pool.Drain()
+			}()
+		}
+		wg.Wait()
+		if pool.QueueLen() != 0 {
+			t.Fatal("queue not drained")
+		}
+	}
+	// Drain on an idle pool returns immediately.
+	pool.Drain()
+}
+
+func TestPoolFrontEndConfig(t *testing.T) {
+	// A staged-front-end pool must decode identically to the fused default.
+	if err := (Config{Workers: 1, DeadlineScale: 1, FrontEnd: phy.FrontEnd(7)}).Validate(); err == nil {
+		t.Fatal("bogus front-end accepted")
+	}
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 3,
+		Allocations: []frame.Allocation{
+			{RNTI: 8, FirstPRB: 0, NumPRB: 4, MCS: 9, SNRdB: 20},
+		},
+	}
+	var outputs [][]byte
+	for _, fe := range []phy.FrontEnd{phy.FrontEndFused, phy.FrontEndStaged} {
+		pool := testPool(t, Config{Workers: 1, DeadlineScale: 1000, FrontEnd: fe})
+		done := endToEnd(t, pool, work)
+		if len(done) != 1 || done[0].Err != nil {
+			t.Fatalf("front-end %v decode failed: %+v", fe, done[0].Err)
+		}
+		outputs = append(outputs, append([]byte(nil), done[0].Payload...))
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Fatal("fused and staged pools decoded different payloads")
+	}
+}

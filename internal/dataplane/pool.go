@@ -57,6 +57,13 @@ type Config struct {
 	// cached processor owns its kernel's buffers — so changing this field
 	// never shares mutable state across workers.
 	DecodeKernel phy.DecodeKernel
+	// FrontEnd selects the decode front-end every processor this pool
+	// creates runs: phy.FrontEndFused (default) collapses demodulation,
+	// descrambling, and soft de-rate-matching into one per-code-block pass
+	// (overlapped with turbo decoding when DecodeWorkers > 1);
+	// phy.FrontEndStaged is the three-sweep reference pipeline. Decoded
+	// output is bit-identical either way.
+	FrontEnd phy.FrontEnd
 	// Policy selects EDF or FIFO dispatch.
 	Policy SchedPolicy
 	// DeadlineScale stretches the HARQ budget to compensate for unoptimized
@@ -82,6 +89,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dataplane: %d decode workers: %w", c.DecodeWorkers, phy.ErrBadParameter)
 	}
 	if err := c.DecodeKernel.Validate(); err != nil {
+		return fmt.Errorf("dataplane: %w", err)
+	}
+	if err := c.FrontEnd.Validate(); err != nil {
 		return fmt.Errorf("dataplane: %w", err)
 	}
 	if c.DeadlineScale <= 0 {
@@ -131,8 +141,13 @@ func (s Stats) MissRate() float64 {
 type Pool struct {
 	cfg Config
 
-	mu       sync.Mutex
-	cond     *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond // wakes workers: signaled per Submit, broadcast on Close
+	// idle wakes Drain callers when the pool quiesces. It must be distinct
+	// from cond, which Submit signals to wake exactly one *worker* — a
+	// drainer parked on the same condition variable could consume that
+	// signal and strand the task until the next submission.
+	idle     *sync.Cond
 	queue    taskQueue
 	closed   bool
 	stats    Stats
@@ -148,6 +163,7 @@ func NewPool(cfg Config) (*Pool, error) {
 	}
 	p := &Pool{cfg: cfg}
 	p.cond = sync.NewCond(&p.mu)
+	p.idle = sync.NewCond(&p.mu)
 	p.queue.fifo = cfg.Policy == FIFO
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -191,16 +207,15 @@ func (p *Pool) Stats() Stats {
 }
 
 // Drain blocks until the queue is empty and all in-flight tasks finished.
+// It is event-driven: drainers park on the pool's idle condition variable
+// and the last finishing task broadcasts it, so there is no polling loop on
+// this path.
 func (p *Pool) Drain() {
-	for {
-		p.mu.Lock()
-		idle := p.queue.Len() == 0 && p.inflight == 0
-		p.mu.Unlock()
-		if idle {
-			return
-		}
-		time.Sleep(100 * time.Microsecond)
+	p.mu.Lock()
+	for p.queue.Len() > 0 || p.inflight > 0 {
+		p.idle.Wait()
 	}
+	p.mu.Unlock()
 }
 
 // Close stops accepting tasks, waits for queued work to finish, and joins
@@ -257,6 +272,9 @@ func (p *Pool) finish(t *Task) {
 	p.stats.Latency.Observe(t.Latency().Seconds())
 	if !t.Started.IsZero() {
 		p.stats.ProcTime.Observe(t.Finished.Sub(t.Started).Seconds())
+	}
+	if p.queue.Len() == 0 && p.inflight == 0 {
+		p.idle.Broadcast()
 	}
 	p.mu.Unlock()
 	if t.OnDone != nil {

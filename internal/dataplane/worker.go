@@ -39,14 +39,19 @@ func newWorker(p *Pool, id int) *worker {
 // caller owns the returned processor and must Close it after use (the
 // cached ones are closed when the worker exits).
 func (w *worker) processor(mcs phy.MCS, nprb int) (*phy.TransportProcessor, error) {
+	opts := phy.ProcOptions{
+		Workers:  w.pool.cfg.decodeWorkers(),
+		Kernel:   w.pool.cfg.DecodeKernel,
+		FrontEnd: w.pool.cfg.FrontEnd,
+	}
 	if w.procs == nil {
-		return phy.NewTransportProcessorKernel(mcs, nprb, w.pool.cfg.decodeWorkers(), w.pool.cfg.DecodeKernel)
+		return phy.NewTransportProcessorOpts(mcs, nprb, opts)
 	}
 	key := procKey{mcs, nprb}
 	if p, ok := w.procs[key]; ok {
 		return p, nil
 	}
-	p, err := phy.NewTransportProcessorKernel(mcs, nprb, w.pool.cfg.decodeWorkers(), w.pool.cfg.DecodeKernel)
+	p, err := phy.NewTransportProcessorOpts(mcs, nprb, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -37,11 +37,11 @@ func E11ParallelSpeedup(quick bool) (Result, error) {
 	m := cluster.DefaultCostModel()
 	serial28 := 0.0
 	for _, w := range workersGrid {
-		t22, err := measureDecode(22, 100, reps, 2211, w, phy.KernelFloat32)
+		t22, err := measureDecode(22, 100, reps, 2211, w, phy.KernelFloat32, phy.FrontEndFused)
 		if err != nil {
 			return res, err
 		}
-		t28, err := measureDecode(28, 100, reps, 2811, w, phy.KernelFloat32)
+		t28, err := measureDecode(28, 100, reps, 2811, w, phy.KernelFloat32, phy.FrontEndFused)
 		if err != nil {
 			return res, err
 		}

@@ -35,11 +35,11 @@ func E12KernelAblation(quick bool) (Result, error) {
 		Metrics: map[string]float64{},
 	}
 	for _, mcs := range mcsGrid {
-		tf, err := measureDecode(mcs, 100, reps, int64(mcs)*1201, 1, phy.KernelFloat32)
+		tf, err := measureDecode(mcs, 100, reps, int64(mcs)*1201, 1, phy.KernelFloat32, phy.FrontEndFused)
 		if err != nil {
 			return res, err
 		}
-		ti, err := measureDecode(mcs, 100, reps, int64(mcs)*1201, 1, phy.KernelInt16)
+		ti, err := measureDecode(mcs, 100, reps, int64(mcs)*1201, 1, phy.KernelInt16, phy.FrontEndFused)
 		if err != nil {
 			return res, err
 		}

@@ -13,9 +13,11 @@ import (
 // measureDecode times the full uplink transport decode at a configuration,
 // returning the mean per-subframe stage timings over reps runs. workers
 // sets the intra-subframe code-block parallelism (1 = serial); kernel
-// selects the turbo SISO arithmetic.
-func measureDecode(mcs phy.MCS, nprb, reps int, seed int64, workers int, kernel phy.DecodeKernel) (phy.StageTimings, error) {
-	proc, err := phy.NewTransportProcessorKernel(mcs, nprb, workers, kernel)
+// selects the turbo SISO arithmetic; fe selects the fused or staged decode
+// front-end (experiments that attribute cost to individual pre-turbo stages
+// pin FrontEndStaged, since the fused pass reports one combined time).
+func measureDecode(mcs phy.MCS, nprb, reps int, seed int64, workers int, kernel phy.DecodeKernel, fe phy.FrontEnd) (phy.StageTimings, error) {
+	proc, err := phy.NewTransportProcessorOpts(mcs, nprb, phy.ProcOptions{Workers: workers, Kernel: kernel, FrontEnd: fe})
 	if err != nil {
 		return phy.StageTimings{}, err
 	}
@@ -45,6 +47,7 @@ func measureDecode(mcs phy.MCS, nprb, reps int, seed int64, workers int, kernel 
 		sum.Demodulate += t.Demodulate
 		sum.Descramble += t.Descramble
 		sum.Dematch += t.Dematch
+		sum.FrontEnd += t.FrontEnd
 		sum.TurboDecode += t.TurboDecode
 		sum.CRCCheck += t.CRCCheck
 		sum.TurboIterations += t.TurboIterations
@@ -58,6 +61,7 @@ func measureDecode(mcs phy.MCS, nprb, reps int, seed int64, workers int, kernel 
 		Demodulate:      sum.Demodulate / d,
 		Descramble:      sum.Descramble / d,
 		Dematch:         sum.Dematch / d,
+		FrontEnd:        sum.FrontEnd / d,
 		TurboDecode:     sum.TurboDecode / d,
 		CRCCheck:        sum.CRCCheck / d,
 		TurboIterations: sum.TurboIterations / ok,
@@ -107,7 +111,7 @@ func E1SubframeVsMCS(quick bool) (Result, error) {
 				row = append(row, "-")
 				continue
 			}
-			tm, err := measureDecode(mcs, nprb, reps, int64(mcs)*100+int64(nprb), 1, phy.KernelFloat32)
+			tm, err := measureDecode(mcs, nprb, reps, int64(mcs)*100+int64(nprb), 1, phy.KernelFloat32, phy.FrontEndFused)
 			if err != nil {
 				return res, err
 			}
@@ -119,7 +123,7 @@ func E1SubframeVsMCS(quick bool) (Result, error) {
 			res.Metrics[fmt.Sprintf("mcs%d_prb%d_ms", mcs, nprb)] = tm.Total().Seconds() * 1e3
 		}
 		if serial100 > 0 {
-			tm, err := measureDecode(mcs, 100, reps, int64(mcs)*100+100, parWorkers, phy.KernelFloat32)
+			tm, err := measureDecode(mcs, 100, reps, int64(mcs)*100+100, parWorkers, phy.KernelFloat32, phy.FrontEndFused)
 			if err != nil {
 				return res, err
 			}
@@ -143,6 +147,8 @@ func E1SubframeVsMCS(quick bool) (Result, error) {
 // E2StageBreakdown reconstructs the per-stage cost breakdown figure:
 // where the subframe budget goes at representative MCS points (100 PRB).
 // Expected shape: turbo decoding dominates and its share grows with MCS.
+// The front-end is pinned to FrontEndStaged so the three pre-turbo stages
+// are individually attributable; E13 measures what fusing them buys.
 func E2StageBreakdown(quick bool) (Result, error) {
 	mcsGrid := []phy.MCS{4, 13, 22, 27}
 	reps := 3
@@ -162,7 +168,7 @@ func E2StageBreakdown(quick bool) (Result, error) {
 		return res, err
 	}
 	for _, mcs := range mcsGrid {
-		tm, err := measureDecode(mcs, 100, reps, int64(mcs)*977, 1, phy.KernelFloat32)
+		tm, err := measureDecode(mcs, 100, reps, int64(mcs)*977, 1, phy.KernelFloat32, phy.FrontEndStaged)
 		if err != nil {
 			return res, err
 		}
@@ -180,7 +186,9 @@ func E2StageBreakdown(quick bool) (Result, error) {
 		})
 		res.Metrics[fmt.Sprintf("mcs%d_turbo_share", mcs)] = share
 	}
-	res.Notes = append(res.Notes, "fft column is the per-cell OFDM stage (14 × 2048-point FFT), shared across all UEs in the subframe")
+	res.Notes = append(res.Notes,
+		"fft column is the per-cell OFDM stage (14 × 2048-point FFT), shared across all UEs in the subframe",
+		"front-end pinned to staged for per-stage attribution; the default fused front-end collapses demod+descramble+dematch into one pass (E13)")
 	return res, nil
 }
 

@@ -236,6 +236,41 @@ func TestE12KernelShapes(t *testing.T) {
 	}
 }
 
+func TestE13FrontEndShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured DSP experiment")
+	}
+	r, err := E13FrontEndAblation(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fused front-end must clearly beat the staged sweeps on the
+	// pre-turbo chain at MCS ≥ 13 / 100 PRB. Acceptance is ≥2x; assert a
+	// looser 1.6x so a loaded CI host doesn't flake.
+	for _, mcs := range []int{13, 27} {
+		if s := r.Metrics[fmt.Sprintf("fe_speedup_mcs%d", mcs)]; s < 1.6 {
+			t.Fatalf("MCS-%d front-end speedup %.2fx below 1.6x", mcs, s)
+		}
+		// End-to-end the gain is diluted by the turbo stage but must not
+		// invert: fusing cannot make the whole decode slower.
+		if s := r.Metrics[fmt.Sprintf("e2e_speedup_mcs%d_i16", mcs)]; s < 0.95 {
+			t.Fatalf("MCS-%d int16 e2e speedup %.2fx — fused path slower end to end", mcs, s)
+		}
+	}
+	// The modelled feasibility frontier must not shrink when fusing, at
+	// either worker count.
+	for _, w := range []int{1, 4} {
+		fused := r.Metrics[fmt.Sprintf("feasible_mcs_fused_i16_%dw", w)]
+		staged := r.Metrics[fmt.Sprintf("feasible_mcs_staged_i16_%dw", w)]
+		if fused < staged {
+			t.Fatalf("%dw fused frontier MCS %v below staged MCS %v", w, fused, staged)
+		}
+	}
+	if len(r.Rows) != 2 || len(r.Header) != len(r.Rows[0]) || r.String() == "" {
+		t.Fatal("table malformed")
+	}
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{ID: "EX", Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}, Notes: []string{"n"}}
 	s := r.String()

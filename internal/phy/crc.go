@@ -4,6 +4,12 @@ package phy
 // blocks; CRC-24B protects individual code blocks after segmentation. Both
 // operate over bit slices (one bit per byte, values 0/1), which is the
 // representation the turbo codec and rate matcher use throughout the chain.
+//
+// The production path is table-driven: eight input bits are packed MSB-first
+// into a byte and folded into the 24-bit register through a 256-entry table,
+// so the register advances a byte at a time instead of a bit at a time. The
+// original bit-serial long division remains as crc24Bitwise — it is the
+// reference the table path is fuzz-checked against (FuzzCRC24).
 
 // Generator polynomials, MSB-first, implicit leading x^24 term.
 const (
@@ -12,10 +18,65 @@ const (
 	crcBits           = 24
 )
 
-// crc24 computes a 24-bit CRC over bits (values 0/1) with the given
-// polynomial, MSB-first, zero initial remainder — exactly the 36.212
-// procedure.
+// crcTable holds, for each top byte t of the 24-bit register, the value
+// (t·x^24 mod G)·x^... folded so that one byte step is
+// reg = (reg<<8 ^ table[reg>>16 ^ in]) & 0xFFFFFF.
+type crcTable [256]uint32
+
+func makeCRCTable(poly uint32) *crcTable {
+	var t crcTable
+	for b := 0; b < 256; b++ {
+		reg := uint32(b) << 16
+		for i := 0; i < 8; i++ {
+			if reg&(1<<23) != 0 {
+				reg = (reg << 1) ^ poly
+			} else {
+				reg <<= 1
+			}
+		}
+		t[b] = reg & 0xFFFFFF
+	}
+	return &t
+}
+
+var (
+	crc24ATable = makeCRCTable(crc24APoly)
+	crc24BTable = makeCRCTable(crc24BPoly)
+)
+
+func crcTableFor(poly uint32) *crcTable {
+	if poly == crc24BPoly {
+		return crc24BTable
+	}
+	return crc24ATable
+}
+
+// crc24 computes the 36.212 24-bit CRC over bits (one bit per byte, values
+// 0/1): MSB-first long division with zero initial remainder. The body runs
+// a byte at a time; the trailing 0–7 bits fall back to single-bit steps.
 func crc24(bits []byte, poly uint32) uint32 {
+	table := crcTableFor(poly)
+	var reg uint32
+	i := 0
+	for ; i+8 <= len(bits); i += 8 {
+		b := bits[i]<<7 | bits[i+1]<<6 | bits[i+2]<<5 | bits[i+3]<<4 |
+			bits[i+4]<<3 | bits[i+5]<<2 | bits[i+6]<<1 | bits[i+7]
+		reg = ((reg << 8) ^ table[byte(reg>>16)^b]) & 0xFFFFFF
+	}
+	for ; i < len(bits); i++ {
+		fb := ((reg >> 23) ^ uint32(bits[i])) & 1
+		reg = (reg << 1) & 0xFFFFFF
+		if fb != 0 {
+			reg ^= poly
+		}
+	}
+	return reg
+}
+
+// crc24Bitwise is the direct bit-serial long division from the spec text:
+// shift each message bit into a 25-bit register, reduce on overflow, then
+// flush 24 zero bits. Kept as the oracle for the table-driven path.
+func crc24Bitwise(bits []byte, poly uint32) uint32 {
 	var reg uint32
 	for _, b := range bits {
 		reg <<= 1

@@ -1,0 +1,52 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzCRC24 cross-checks the table-driven CRC against the bit-serial
+// long-division reference for both 36.212 polynomials, over arbitrary bit
+// lengths (including the 0–7 tail bits the byte loop can't cover).
+func FuzzCRC24(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1}, uint8(1))
+	f.Add([]byte{1, 0, 1, 1, 0, 0, 1, 0, 1}, uint8(0))
+	f.Add(make([]byte, 40), uint8(1))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, which uint8) {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		poly := crc24APoly
+		if which&1 == 1 {
+			poly = crc24BPoly
+		}
+		got := crc24(bits, poly)
+		want := crc24Bitwise(bits, poly)
+		if got != want {
+			t.Fatalf("poly %#x len %d: table CRC %#06x, bitwise reference %#06x", poly, len(bits), got, want)
+		}
+	})
+}
+
+func TestCRC24TableMatchesBitwise(t *testing.T) {
+	// Deterministic sweep over lengths around byte boundaries plus random
+	// long inputs; the fuzz target extends this with arbitrary corpora.
+	rng := rand.New(rand.NewSource(7))
+	for _, poly := range []uint32{crc24APoly, crc24BPoly} {
+		for n := 0; n <= 40; n++ {
+			bits := randBits(rng, n)
+			if got, want := crc24(bits, poly), crc24Bitwise(bits, poly); got != want {
+				t.Fatalf("poly %#x n=%d: %#06x vs %#06x", poly, n, got, want)
+			}
+		}
+		for trial := 0; trial < 20; trial++ {
+			bits := randBits(rng, 100+rng.Intn(6200))
+			if got, want := crc24(bits, poly), crc24Bitwise(bits, poly); got != want {
+				t.Fatalf("poly %#x len %d: %#06x vs %#06x", poly, len(bits), got, want)
+			}
+		}
+	}
+}

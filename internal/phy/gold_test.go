@@ -149,6 +149,63 @@ func TestScramblerReinit(t *testing.T) {
 	}
 }
 
+func TestGoldNextWordMatchesBitSteps(t *testing.T) {
+	// NextWord must equal 32 consecutive bit-steps, including interleaved
+	// word/bit reads, for several cinits.
+	for _, cinit := range []uint32{0, 1, 12345, 0x7FFFFFFF, ScramblerInit(100, 7, 9)} {
+		w := NewGoldSequence(cinit)
+		b := NewGoldSequence(cinit)
+		for rep := 0; rep < 40; rep++ {
+			got := w.NextWord()
+			var want uint32
+			for j := 0; j < 32; j++ {
+				want |= uint32(b.Next()) << uint(j)
+			}
+			if got != want {
+				t.Fatalf("cinit %#x word %d: NextWord %#08x, bit oracle %#08x", cinit, rep, got, want)
+			}
+			// Interleave: a few bit reads from both, to pin that word and bit
+			// advances leave identical state.
+			for j := 0; j < 7; j++ {
+				if w.Next() != b.Next() {
+					t.Fatalf("cinit %#x: state diverged after word %d", cinit, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestScramblerIncrementalGrowth(t *testing.T) {
+	// Growing the keystream in many small steps must yield exactly the
+	// keystream a single large request produces.
+	cinit := ScramblerInit(77, 3, 11)
+	grown := NewScrambler(cinit)
+	sizes := []int{1, 31, 32, 33, 100, 512, 513, 2048}
+	for _, n := range sizes {
+		grown.ensureKey(n)
+	}
+	total := sizes[len(sizes)-1]
+	fresh := NewScrambler(cinit)
+	fresh.ensureKey(total)
+	for i := 0; i < (total+31)/32; i++ {
+		if grown.words[i] != fresh.words[i] {
+			t.Fatalf("incremental keystream word %d differs: %#08x vs %#08x", i, grown.words[i], fresh.words[i])
+		}
+	}
+	// Growth after the buffer is large enough must not allocate.
+	s := NewScrambler(cinit)
+	s.ensureKey(4096)
+	s.Reinit(cinit + 1)
+	allocs := testing.AllocsPerRun(5, func() {
+		s.Reinit(cinit + 1)
+		s.ensureKey(1024)
+		s.ensureKey(4096)
+	})
+	if allocs > 0 {
+		t.Fatalf("incremental ensureKey allocates %v times", allocs)
+	}
+}
+
 func TestScramblerInitFields(t *testing.T) {
 	// Different RNTIs, cells and subframes must produce different cinit.
 	a := ScramblerInit(1, 1, 1)

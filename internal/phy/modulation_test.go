@@ -204,3 +204,40 @@ func TestClosedFormLLRMatchesScanOracle(t *testing.T) {
 		}
 	}
 }
+
+// TestAxisLLRFastMatchesReference pins the branch-reduced axis metrics the
+// fused front-end demodulates with against the reference piecewise helpers,
+// bit for bit: dense grids straddling every segment boundary, exact boundary
+// points, signed zero, and wide random inputs.
+func TestAxisLLRFastMatchesReference(t *testing.T) {
+	var xs []float64
+	for _, b := range []float64{0, 2 * qam16A, 2 * qam64A, 4 * qam64A, 6 * qam64A} {
+		for _, s := range []float64{1, -1} {
+			for d := -1e-9; d <= 1e-9; d += 1e-10 {
+				xs = append(xs, s*(b+d))
+			}
+			xs = append(xs, s*b)
+		}
+	}
+	xs = append(xs, math.Copysign(0, -1), 0, 1e300, -1e300, 1e-300, -1e-300)
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 20000; i++ {
+		xs = append(xs, rng.NormFloat64()*2)
+	}
+	for x := -1.5; x <= 1.5; x += 1e-4 {
+		xs = append(xs, x)
+	}
+	eq := func(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+	for _, x := range xs {
+		r0, r1 := qam16AxisLLR(x)
+		f0, f1 := qam16AxisLLRFast(x)
+		if !eq(r0, f0) || !eq(r1, f1) {
+			t.Fatalf("qam16 x=%v: fast (%v,%v) != reference (%v,%v)", x, f0, f1, r0, r1)
+		}
+		s0, s1, s2 := qam64AxisLLR(x)
+		g0, g1, g2 := qam64AxisLLRFast(x)
+		if !eq(s0, g0) || !eq(s1, g1) || !eq(s2, g2) {
+			t.Fatalf("qam64 x=%v: fast (%v,%v,%v) != reference (%v,%v,%v)", x, g0, g1, g2, s0, s1, s2)
+		}
+	}
+}

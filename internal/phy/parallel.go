@@ -49,6 +49,7 @@ type ParallelDecoder struct {
 	blocks        [][]byte
 	ld0, ld1, ld2 [][]float32
 	check         func([]byte) bool
+	prepare       func(int)
 	next          atomic.Int64
 	aborted       atomic.Bool
 	iters         atomic.Int64
@@ -106,6 +107,25 @@ func (pd *ParallelDecoder) K() int { return pd.decs[0].K() }
 // decoding the blocks serially with one TurboDecoder, because each block's
 // decode depends only on its own streams.
 func (pd *ParallelDecoder) Decode(blocks [][]byte, ld0, ld1, ld2 [][]float32, check func([]byte) bool) (int, bool, error) {
+	return pd.DecodePrepared(blocks, ld0, ld1, ld2, check, nil)
+}
+
+// DecodePrepared is Decode with a per-block preparation hook: when prepare
+// is non-nil, the worker that claims block i calls prepare(i) immediately
+// before turbo-decoding it. This is how the fused decode front-end overlaps
+// with turbo decoding — block i+1's demod/descramble/dematch runs on one
+// worker while block i decodes on another, instead of all front-end work
+// serializing on the caller.
+//
+// prepare must follow the block-ownership rule: it may read state the owner
+// published before the call (the wake-channel send is the happens-before
+// edge) but may write only block i's private data — in the fused front-end,
+// the block's soft streams ld0[i]/ld1[i]/ld2[i]. It must not fail; any
+// validation belongs on the owner before the call. prepare runs for every
+// block even when a CRC failure aborts the decode fan-out, because its side
+// effects are HARQ soft state that must match the staged pipeline's (see
+// decodeBlocks).
+func (pd *ParallelDecoder) DecodePrepared(blocks [][]byte, ld0, ld1, ld2 [][]float32, check func([]byte) bool, prepare func(int)) (int, bool, error) {
 	if pd.closed {
 		return 0, false, fmt.Errorf("phy: parallel decoder is closed: %w", ErrBadParameter)
 	}
@@ -114,7 +134,7 @@ func (pd *ParallelDecoder) Decode(blocks [][]byte, ld0, ld1, ld2 [][]float32, ch
 		return 0, false, fmt.Errorf("phy: %d blocks but %d/%d/%d LLR streams: %w",
 			c, len(ld0), len(ld1), len(ld2), ErrBadParameter)
 	}
-	pd.blocks, pd.ld0, pd.ld1, pd.ld2, pd.check = blocks, ld0, ld1, ld2, check
+	pd.blocks, pd.ld0, pd.ld1, pd.ld2, pd.check, pd.prepare = blocks, ld0, ld1, ld2, check, prepare
 	pd.next.Store(0)
 	pd.aborted.Store(false)
 	pd.iters.Store(0)
@@ -126,7 +146,7 @@ func (pd *ParallelDecoder) Decode(blocks [][]byte, ld0, ld1, ld2 [][]float32, ch
 	// The caller is worker 0.
 	err := pd.decodeBlocks(pd.decs[0])
 	pd.wg.Wait()
-	pd.blocks, pd.ld0, pd.ld1, pd.ld2, pd.check = nil, nil, nil, nil, nil
+	pd.blocks, pd.ld0, pd.ld1, pd.ld2, pd.check, pd.prepare = nil, nil, nil, nil, nil, nil
 	if err != nil {
 		return int(pd.iters.Load()), false, err
 	}
@@ -148,12 +168,27 @@ func (pd *ParallelDecoder) helper(dec *TurboDecoder) {
 }
 
 // decodeBlocks claims block indices until none remain or a block aborts.
+// With a prepare hook installed, the hook still runs for every remaining
+// block after an abort (only the turbo decodes are skipped): in the fused
+// front-end the hook's side effect is soft-buffer accumulation, which is
+// HARQ state the next retransmission combines against — dropping it would
+// make an aborted fused decode leave different soft state than the staged
+// pipeline, whose front-end sweeps always complete before turbo starts.
 func (pd *ParallelDecoder) decodeBlocks(dec *TurboDecoder) error {
 	dec.EarlyCheck = pd.check
-	for !pd.aborted.Load() {
+	for {
+		if pd.prepare == nil && pd.aborted.Load() {
+			return nil
+		}
 		i := int(pd.next.Add(1) - 1)
 		if i >= len(pd.blocks) {
 			return nil
+		}
+		if pd.prepare != nil {
+			pd.prepare(i)
+			if pd.aborted.Load() {
+				continue
+			}
 		}
 		iters, err := dec.Decode(pd.blocks[i], pd.ld0[i], pd.ld1[i], pd.ld2[i])
 		if err != nil {
@@ -165,7 +200,6 @@ func (pd *ParallelDecoder) decodeBlocks(dec *TurboDecoder) error {
 			pd.aborted.Store(true)
 		}
 	}
-	return nil
 }
 
 // Close terminates the resident helper goroutines. It must not be called

@@ -33,6 +33,17 @@ type RateMatcher struct {
 	d    int     // stream length K+4
 	kw   int     // circular buffer length 3·Kpi
 	wIdx []int32 // circular buffer -> index into the concatenated d streams, or nullPos
+	// scat is wIdx with the <NULL> positions compacted away: scat[j] is the
+	// flat destination (into the concatenated d0|d1|d2 streams, length 3d) of
+	// the j-th bit emitted when reading the circular buffer from position 0.
+	// It is a permutation of [0, 3d) and is the fused front-end's scatter
+	// table — walking it sequentially (mod 3d) visits exactly the non-null
+	// positions the staged walk over wIdx visits, in the same order, with no
+	// per-position null test or stream switch.
+	scat []int32
+	// rvStart[rv] is the index into scat where redundancy version rv starts
+	// reading: the number of non-null positions before rvOffset(rv).
+	rvStart [4]int
 }
 
 // NewRateMatcher returns a rate matcher for turbo block size k.
@@ -81,7 +92,24 @@ func NewRateMatcher(k int) (*RateMatcher, error) {
 		w[kpi+2*j] = toStream(1, perm01[j])
 		w[kpi+2*j+1] = toStream(2, perm2[j])
 	}
-	return &RateMatcher{k: k, d: d, kw: 3 * kpi, wIdx: w}, nil
+	m := &RateMatcher{k: k, d: d, kw: 3 * kpi, wIdx: w}
+	m.scat = make([]int32, 0, 3*d)
+	for _, ix := range w {
+		if ix != nullPos {
+			m.scat = append(m.scat, ix)
+		}
+	}
+	for rv := 0; rv < 4; rv++ {
+		k0 := m.rvOffset(rv)
+		nn := 0
+		for _, ix := range w[:k0] {
+			if ix != nullPos {
+				nn++
+			}
+		}
+		m.rvStart[rv] = nn
+	}
+	return m, nil
 }
 
 // K returns the turbo block size.

@@ -1,8 +1,10 @@
 package phy
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 	"time"
 )
 
@@ -25,18 +27,32 @@ import (
 // processor with workers > 1 must be Closed to release its helper
 // goroutines. See docs/concurrency.md for the end-to-end threading model.
 type TransportProcessor struct {
-	mcs    MCS
-	nprb   int
-	tbs    int // payload bits
-	e      int // total coded bits
-	seg    Segmentation
-	kernel DecodeKernel
+	mcs      MCS
+	nprb     int
+	tbs      int // payload bits
+	e        int // total coded bits
+	seg      Segmentation
+	kernel   DecodeKernel
+	frontEnd FrontEnd
 
 	enc *TurboEncoder
 	dec *TurboDecoder
 	par *ParallelDecoder // non-nil when decode parallelism > 1
 	rm  *RateMatcher
 	scr *Scrambler
+
+	blockOff []int // starting coded-bit offset of each code block
+
+	// Fused front-end per-call state. The owner writes these before the
+	// per-block front-ends run; under the parallel overlap the wake-channel
+	// send inside ParallelDecoder.DecodePrepared publishes them to the
+	// helpers, which treat them as read-only (see frontEndBlock).
+	feFn    func(int) // p.frontEndBlock, bound once so installing it never allocates
+	feRX    []complex128
+	feKey   []uint32
+	feSB    *SoftBuffer
+	feRV    int
+	feInvN0 float64
 
 	// Preallocated working storage.
 	tbBits   []byte // payload + TB CRC (B bits)
@@ -63,9 +79,16 @@ type TransportProcessor struct {
 type StageTimings struct {
 	Modulate    time.Duration // encode: modulation (+scrambling)
 	EncodeChain time.Duration // encode: CRC+segmentation+turbo+rate match
-	Demodulate  time.Duration // decode: LLR computation
-	Descramble  time.Duration
-	Dematch     time.Duration // soft de-rate-matching
+	Demodulate  time.Duration // decode: LLR computation (staged front-end)
+	Descramble  time.Duration // (staged front-end)
+	Dematch     time.Duration // soft de-rate-matching (staged front-end)
+	// FrontEnd is the fused single-pass demod+descramble+dematch time; it
+	// replaces the three staged fields above when the processor runs
+	// FrontEndFused serially. Under the parallel overlap (fused + decode
+	// workers > 1) per-block front-ends interleave with turbo decoding
+	// across workers, so their time is not separable: it is folded into
+	// TurboDecode and FrontEnd reads 0.
+	FrontEnd    time.Duration
 	TurboDecode time.Duration
 	CRCCheck    time.Duration // desegmentation + CRC verification
 	// TurboIterations is the total turbo iterations across code blocks.
@@ -74,37 +97,39 @@ type StageTimings struct {
 
 // Total returns the decode-side total (the HARQ-deadline-relevant part).
 func (t StageTimings) Total() time.Duration {
-	return t.Demodulate + t.Descramble + t.Dematch + t.TurboDecode + t.CRCCheck
+	return t.Demodulate + t.Descramble + t.Dematch + t.FrontEnd + t.TurboDecode + t.CRCCheck
 }
 
 // SoftBuffer holds per-code-block accumulated LLRs across HARQ
-// retransmissions of one transport block.
+// retransmissions of one transport block. All streams share one contiguous
+// backing array laid out in the migration wire order — block-major, each
+// block's d0|d1|d2 streams back to back — so Reset is a single clear and
+// serialization is a single linear pass.
 type SoftBuffer struct {
-	ld0, ld1, ld2 [][]float32
+	back          []float32   // contiguous backing, wire order
+	ld0, ld1, ld2 [][]float32 // per-block stream views into back
 }
 
 // NewSoftBuffer allocates a soft buffer matching the processor's
 // segmentation.
 func (p *TransportProcessor) NewSoftBuffer() *SoftBuffer {
-	sb := &SoftBuffer{}
-	d := p.seg.K + 4
-	for i := 0; i < p.seg.C; i++ {
-		sb.ld0 = append(sb.ld0, make([]float32, d))
-		sb.ld1 = append(sb.ld1, make([]float32, d))
-		sb.ld2 = append(sb.ld2, make([]float32, d))
+	return newSoftBuffer(p.seg.C, p.seg.K+4)
+}
+
+func newSoftBuffer(c, d int) *SoftBuffer {
+	sb := &SoftBuffer{back: make([]float32, c*3*d)}
+	for i := 0; i < c; i++ {
+		base := i * 3 * d
+		sb.ld0 = append(sb.ld0, sb.back[base:base+d:base+d])
+		sb.ld1 = append(sb.ld1, sb.back[base+d:base+2*d:base+2*d])
+		sb.ld2 = append(sb.ld2, sb.back[base+2*d:base+3*d:base+3*d])
 	}
 	return sb
 }
 
 // Reset zeroes the accumulated LLRs for a fresh transport block.
 func (sb *SoftBuffer) Reset() {
-	for i := range sb.ld0 {
-		for j := range sb.ld0[i] {
-			sb.ld0[i][j] = 0
-			sb.ld1[i][j] = 0
-			sb.ld2[i][j] = 0
-		}
-	}
+	clear(sb.back)
 }
 
 // Blocks returns the number of code blocks the buffer covers.
@@ -120,22 +145,21 @@ func (sb *SoftBuffer) StreamLen() int {
 
 // MarshalAppend serializes the accumulated LLRs (little-endian float32,
 // streams d0|d1|d2 per block) onto dst — the migration wire format PRAN
-// ships when a cell moves between servers.
+// ships when a cell moves between servers. The backing array is laid out in
+// wire order, so this is one linear pass; the byte format is unchanged from
+// the nested per-stream marshaller it replaced (round-trip- and
+// golden-tested).
 func (sb *SoftBuffer) MarshalAppend(dst []byte) []byte {
-	for i := range sb.ld0 {
-		for _, stream := range [][]float32{sb.ld0[i], sb.ld1[i], sb.ld2[i]} {
-			for _, v := range stream {
-				u := math.Float32bits(v)
-				dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
-			}
-		}
+	dst = slices.Grow(dst, len(sb.back)*4)
+	for _, v := range sb.back {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
 	}
 	return dst
 }
 
 // MarshalledSize returns the byte length MarshalAppend produces.
 func (sb *SoftBuffer) MarshalledSize() int {
-	return sb.Blocks() * 3 * sb.StreamLen() * 4
+	return len(sb.back) * 4
 }
 
 // Unmarshal restores LLRs serialized by MarshalAppend into this buffer
@@ -145,17 +169,10 @@ func (sb *SoftBuffer) Unmarshal(src []byte) (int, error) {
 	if len(src) < need {
 		return 0, fmt.Errorf("phy: soft buffer needs %d bytes, have %d: %w", need, len(src), ErrTooShort)
 	}
-	pos := 0
-	for i := range sb.ld0 {
-		for _, stream := range [][]float32{sb.ld0[i], sb.ld1[i], sb.ld2[i]} {
-			for j := range stream {
-				u := uint32(src[pos]) | uint32(src[pos+1])<<8 | uint32(src[pos+2])<<16 | uint32(src[pos+3])<<24
-				stream[j] = math.Float32frombits(u)
-				pos += 4
-			}
-		}
+	for j := range sb.back {
+		sb.back[j] = math.Float32frombits(binary.LittleEndian.Uint32(src[j*4:]))
 	}
-	return pos, nil
+	return need, nil
 }
 
 // NewTransportProcessor builds a serial processor for the given MCS and PRB
@@ -180,9 +197,43 @@ func NewTransportProcessorWorkers(mcs MCS, nprb, workers int) (*TransportProcess
 // soft-combining wire format is kernel-independent.
 func NewTransportProcessorKernel(mcs MCS, nprb, workers int, kernel DecodeKernel) (*TransportProcessor, error) {
 	if workers < 1 {
+		// The explicit-workers constructors reject 0; only ProcOptions
+		// treats the zero value as "serial".
 		return nil, fmt.Errorf("phy: %d decode workers: %w", workers, ErrBadParameter)
 	}
+	return NewTransportProcessorOpts(mcs, nprb, ProcOptions{Workers: workers, Kernel: kernel})
+}
+
+// ProcOptions bundles the TransportProcessor construction knobs. The zero
+// value is the default configuration: serial decode, float32 turbo kernel,
+// fused front-end.
+type ProcOptions struct {
+	// Workers is the decode parallelism (code-block fan-out). 0 is treated
+	// as 1 (fully serial); values > 1 keep resident helper goroutines that
+	// Close releases.
+	Workers int
+	// Kernel selects the turbo SISO arithmetic.
+	Kernel DecodeKernel
+	// FrontEnd selects the fused single-pass or staged three-sweep decode
+	// front-end. Outputs are bit-identical either way.
+	FrontEnd FrontEnd
+}
+
+// NewTransportProcessorOpts builds a processor with explicit options; the
+// other constructors are shorthands for common combinations.
+func NewTransportProcessorOpts(mcs MCS, nprb int, o ProcOptions) (*TransportProcessor, error) {
+	workers := o.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("phy: %d decode workers: %w", workers, ErrBadParameter)
+	}
+	kernel := o.Kernel
 	if err := kernel.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.FrontEnd.Validate(); err != nil {
 		return nil, err
 	}
 	tbs, err := mcs.TransportBlockSize(nprb)
@@ -214,7 +265,8 @@ func NewTransportProcessorKernel(mcs MCS, nprb, workers int, kernel DecodeKernel
 	e := mcs.CodedBits(nprb)
 	p := &TransportProcessor{
 		mcs: mcs, nprb: nprb, tbs: tbs, e: e, seg: seg, kernel: kernel,
-		enc: enc, dec: dec, rm: rm, scr: NewScrambler(0),
+		frontEnd: o.FrontEnd,
+		enc:      enc, dec: dec, rm: rm, scr: NewScrambler(0),
 		tbBits:   make([]byte, b),
 		blockBuf: make([]byte, seg.K),
 		d0:       make([]byte, seg.K+4),
@@ -225,6 +277,13 @@ func NewTransportProcessorKernel(mcs MCS, nprb, workers int, kernel DecodeKernel
 		llr:      make([]float32, 0, e),
 		decBlock: make([]byte, seg.K),
 		joined:   make([]byte, b),
+	}
+	p.feFn = p.frontEndBlock // bound once: installing per call allocates nothing
+	p.blockOff = make([]int, seg.C)
+	off := 0
+	for i := 0; i < seg.C; i++ {
+		p.blockOff[i] = off
+		off += p.blockE(i)
 	}
 	p.blockbk = make([]byte, seg.C*seg.K)
 	for i := 0; i < seg.C; i++ {
@@ -250,6 +309,9 @@ func (p *TransportProcessor) Workers() int {
 
 // Kernel returns the turbo SISO kernel the processor decodes with.
 func (p *TransportProcessor) Kernel() DecodeKernel { return p.kernel }
+
+// FrontEnd returns the decode front-end the processor runs.
+func (p *TransportProcessor) FrontEnd() FrontEnd { return p.frontEnd }
 
 // Close releases the resident decode goroutines of a parallel processor. It
 // is a no-op for serial processors and must not race an in-flight Decode.
@@ -347,12 +409,17 @@ func (p *TransportProcessor) Encode(payload []byte, rnti uint16, cellID uint16, 
 	return p.symbols, nil
 }
 
+// fillerLLR pins filler bits (known zeros at the head of block 0) to a
+// strong bit-0 likelihood before turbo decoding.
+const fillerLLR = 1e4
+
 // Decode recovers the payload from received symbols under noise power n0.
 // sb, when non-nil, supplies HARQ soft-combining state: callers Reset it for
 // a new TB and reuse it across retransmissions (passing the matching rv).
 // When sb is nil a fresh internal buffer is used. On success the returned
 // slice (owned by the processor, valid until next Decode) holds the payload
-// bits; a CRC failure returns ErrCRC.
+// bits; a CRC failure returns ErrCRC. The decoded output and the soft-buffer
+// contents are bit-identical across front-ends, kernels, and worker counts.
 func (p *TransportProcessor) Decode(rx []complex128, n0 float64, rnti uint16, cellID uint16, subframe uint8, rv int, sb *SoftBuffer) ([]byte, error) {
 	if len(rx) != p.NumSymbols() {
 		return nil, fmt.Errorf("phy: got %d symbols, want %d: %w", len(rx), p.NumSymbols(), ErrBadParameter)
@@ -361,6 +428,18 @@ func (p *TransportProcessor) Decode(rx []complex128, n0 float64, rnti uint16, ce
 		sb = p.softBuf
 		sb.Reset()
 	}
+	p.Timings.TurboIterations = 0
+	check := checkBlockCRC24A
+	if p.seg.C > 1 {
+		check = checkBlockCRC24B
+	}
+	if p.frontEnd == FrontEndFused {
+		return p.decodeFused(rx, n0, rnti, cellID, subframe, rv, sb, check)
+	}
+
+	// Staged (oracle) path: three full sweeps over the E coded bits.
+	p.Timings.FrontEnd = 0
+
 	// Demodulate to LLRs.
 	start := time.Now()
 	p.llr = p.llr[:0]
@@ -387,8 +466,6 @@ func (p *TransportProcessor) Decode(rx []complex128, n0 float64, rnti uint16, ce
 		}
 		off += e
 	}
-	// Pin filler bits (known zeros at the head of block 0).
-	const fillerLLR = 1e4
 	for j := 0; j < p.seg.F; j++ {
 		sb.ld0[0][j] = fillerLLR
 	}
@@ -396,11 +473,6 @@ func (p *TransportProcessor) Decode(rx []complex128, n0 float64, rnti uint16, ce
 
 	// Turbo decode each block with CRC-based early termination.
 	start = time.Now()
-	p.Timings.TurboIterations = 0
-	check := checkBlockCRC24A
-	if p.seg.C > 1 {
-		check = checkBlockCRC24B
-	}
 	if p.par != nil {
 		// Parallel path: fan the independent code blocks across the
 		// resident workers; a block failing its CRC aborts the rest, since
@@ -427,8 +499,74 @@ func (p *TransportProcessor) Decode(rx []complex128, n0 float64, rnti uint16, ce
 	}
 	p.Timings.TurboDecode = time.Since(start)
 
-	// Desegment and verify the TB CRC.
+	return p.finishDecode()
+}
+
+// decodeFused is the fused-front-end decode body: the per-block front-end
+// (see frontEndBlock) replaces the staged sweeps, and with decode workers
+// the front-end of each code block rides the worker that claims the block,
+// overlapping with other blocks' turbo decodes. Validation that the staged
+// path performs inside SoftDematch happens up front here, so the per-block
+// front-end itself cannot fail — the invariant DecodePrepared's hook
+// requires.
+func (p *TransportProcessor) decodeFused(rx []complex128, n0 float64, rnti uint16, cellID uint16, subframe uint8, rv int, sb *SoftBuffer, check func([]byte) bool) ([]byte, error) {
+	if rv < 0 || rv > 3 {
+		return nil, fmt.Errorf("phy: rv=%d out of range: %w", rv, ErrBadParameter)
+	}
+	if sb.Blocks() != p.seg.C || sb.StreamLen() != p.seg.K+4 {
+		return nil, fmt.Errorf("phy: soft buffer shape %d×%d, want %d×%d: %w",
+			sb.Blocks(), sb.StreamLen(), p.seg.C, p.seg.K+4, ErrBadParameter)
+	}
+	p.Timings.Demodulate, p.Timings.Descramble, p.Timings.Dematch = 0, 0, 0
+
+	start := time.Now()
+	p.scr.Reinit(ScramblerInit(rnti, cellID, subframe))
+	p.feKey = p.scr.KeyWords(p.e)
+	p.feRX, p.feInvN0, p.feSB, p.feRV = rx, demodInvN0(n0), sb, rv
+
+	if p.par != nil {
+		// Overlapped: each worker runs a claimed block's front-end, then its
+		// turbo decode. Front-end and decode time interleave across workers
+		// and are not separable; the whole region is attributed to
+		// TurboDecode (FrontEnd reads 0 — see StageTimings).
+		iters, ok, err := p.par.DecodePrepared(p.blocks, sb.ld0, sb.ld1, sb.ld2, check, p.feFn)
+		p.clearFrontEndState()
+		p.Timings.TurboIterations = iters
+		p.Timings.FrontEnd = 0
+		p.Timings.TurboDecode = time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			p.Timings.CRCCheck = 0
+			return nil, fmt.Errorf("phy: transport block: %w", ErrCRC)
+		}
+		return p.finishDecode()
+	}
+
+	for i := 0; i < p.seg.C; i++ {
+		p.frontEndBlock(i)
+	}
+	p.clearFrontEndState()
+	p.Timings.FrontEnd = time.Since(start)
+
 	start = time.Now()
+	p.dec.EarlyCheck = check
+	for i := 0; i < p.seg.C; i++ {
+		iters, err := p.dec.Decode(p.blocks[i], sb.ld0[i], sb.ld1[i], sb.ld2[i])
+		if err != nil {
+			return nil, err
+		}
+		p.Timings.TurboIterations += iters
+	}
+	p.Timings.TurboDecode = time.Since(start)
+
+	return p.finishDecode()
+}
+
+// finishDecode desegments the decoded blocks and verifies the TB CRC.
+func (p *TransportProcessor) finishDecode() ([]byte, error) {
+	start := time.Now()
 	if err := p.seg.Join(p.joined, p.blocks); err != nil {
 		p.Timings.CRCCheck = time.Since(start)
 		return nil, err

@@ -1,7 +1,9 @@
 package phy
 
 import (
+	"bytes"
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -136,11 +138,31 @@ func TestTransportTimingsPopulated(t *testing.T) {
 		t.Fatal(err)
 	}
 	tm := p.Timings
-	if tm.Demodulate <= 0 || tm.TurboDecode <= 0 || tm.Total() <= 0 {
+	// Default (fused) front-end: the single-pass stage is timed, the staged
+	// sweeps read zero.
+	if tm.FrontEnd <= 0 || tm.TurboDecode <= 0 || tm.Total() <= 0 {
 		t.Fatalf("decode timings not recorded: %+v", tm)
+	}
+	if tm.Demodulate != 0 || tm.Descramble != 0 || tm.Dematch != 0 {
+		t.Fatalf("staged stage timings nonzero on fused path: %+v", tm)
 	}
 	if tm.TurboIterations < p.NumCodeBlocks() {
 		t.Fatalf("turbo iterations %d below block count %d", tm.TurboIterations, p.NumCodeBlocks())
+	}
+	// Staged oracle front-end: the per-stage sweeps are timed instead.
+	ps, err := NewTransportProcessorOpts(20, 50, ProcOptions{FrontEnd: FrontEndStaged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Decode(rx, ch.N0(), 1, 1, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	tm = ps.Timings
+	if tm.Demodulate <= 0 || tm.Descramble <= 0 || tm.Dematch <= 0 || tm.TurboDecode <= 0 {
+		t.Fatalf("staged decode timings not recorded: %+v", tm)
+	}
+	if tm.FrontEnd != 0 {
+		t.Fatalf("fused stage timing nonzero on staged path: %+v", tm)
 	}
 }
 
@@ -221,6 +243,80 @@ func TestTransportEncodeIdempotentAcrossCalls(t *testing.T) {
 	for i := range first {
 		if b[i] != first[i] {
 			t.Fatalf("encode not reproducible at symbol %d", i)
+		}
+	}
+}
+
+// refMarshalSoftBuffer is the original nested-loop serializer (block-major,
+// d0|d1|d2 per block, little-endian float32) kept inline as the golden
+// reference for the wire format: the contiguous-backing fast path must
+// produce byte-identical output.
+func refMarshalSoftBuffer(sb *SoftBuffer) []byte {
+	var dst []byte
+	for i := range sb.ld0 {
+		for _, stream := range [][]float32{sb.ld0[i], sb.ld1[i], sb.ld2[i]} {
+			for _, v := range stream {
+				u := math.Float32bits(v)
+				dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+			}
+		}
+	}
+	return dst
+}
+
+func TestSoftBufferMarshalGoldenFormat(t *testing.T) {
+	p, err := NewTransportProcessor(27, 100) // multi-block
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := p.NewSoftBuffer()
+	rng := rand.New(rand.NewSource(21))
+	for i := range sb.ld0 {
+		for j := range sb.ld0[i] {
+			sb.ld0[i][j] = rng.Float32()*8 - 4
+			sb.ld1[i][j] = rng.Float32()*8 - 4
+			sb.ld2[i][j] = rng.Float32()*8 - 4
+		}
+	}
+	want := refMarshalSoftBuffer(sb)
+	got := sb.MarshalAppend(nil)
+	if len(got) != sb.MarshalledSize() || len(want) != len(got) {
+		t.Fatalf("marshalled size %d, reference %d, MarshalledSize %d", len(got), len(want), sb.MarshalledSize())
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("contiguous marshal output differs from the golden nested-loop format")
+	}
+	// MarshalAppend must append, not overwrite.
+	prefixed := sb.MarshalAppend([]byte{0xAA, 0xBB})
+	if prefixed[0] != 0xAA || prefixed[1] != 0xBB || !bytes.Equal(prefixed[2:], want) {
+		t.Fatal("MarshalAppend does not append to the destination")
+	}
+	// Round trip into a second buffer of the same shape.
+	sb2 := p.NewSoftBuffer()
+	n, err := sb2.Unmarshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(got) {
+		t.Fatalf("Unmarshal consumed %d bytes, want %d", n, len(got))
+	}
+	for i := range sb.ld0 {
+		for j := range sb.ld0[i] {
+			if sb.ld0[i][j] != sb2.ld0[i][j] || sb.ld1[i][j] != sb2.ld1[i][j] || sb.ld2[i][j] != sb2.ld2[i][j] {
+				t.Fatalf("round trip differs at block %d offset %d", i, j)
+			}
+		}
+	}
+	if _, err := sb2.Unmarshal(got[:10]); err == nil {
+		t.Fatal("short unmarshal accepted")
+	}
+	// Reset must zero every stream through the shared backing.
+	sb.Reset()
+	for i := range sb.ld0 {
+		for j := range sb.ld0[i] {
+			if sb.ld0[i][j] != 0 || sb.ld1[i][j] != 0 || sb.ld2[i][j] != 0 {
+				t.Fatalf("Reset left residue at block %d offset %d", i, j)
+			}
 		}
 	}
 }
