@@ -110,3 +110,10 @@ func BenchmarkE12_KernelAblation(b *testing.B) {
 func BenchmarkE13_FrontEndAblation(b *testing.B) {
 	report(b, experiments.E13FrontEndAblation)
 }
+
+// BenchmarkE14_TelemetryOverhead regenerates the telemetry-overhead
+// measurement: per-task decode wall clock through the pool with recording
+// enabled vs disabled, plus the microbenchmarked record-path cost.
+func BenchmarkE14_TelemetryOverhead(b *testing.B) {
+	report(b, experiments.E14TelemetryOverhead)
+}

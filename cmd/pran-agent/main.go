@@ -10,11 +10,13 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 
 	"pran/internal/core"
 	"pran/internal/dataplane"
 	"pran/internal/node"
 	"pran/internal/phy"
+	"pran/internal/telemetry"
 )
 
 func main() {
@@ -24,6 +26,8 @@ func main() {
 	prb := flag.Int("prb", 6, "cell bandwidth assumed for deadline calibration")
 	scale := flag.Float64("scale", 0, "deadline scale (0 = host-calibrated)")
 	seed := flag.Int64("seed", 1, "local RRH emulation seed")
+	telemetryAddr := flag.String("telemetry", "", "HTTP address serving the telemetry snapshot (empty = off)")
+	noTelemetry := flag.Bool("no-telemetry", false, "disable runtime telemetry recording entirely")
 	flag.Parse()
 
 	if *scale <= 0 {
@@ -38,14 +42,27 @@ func main() {
 		ControllerAddr: *addr,
 		ServerID:       uint32(*id),
 		Cores:          *cores,
-		Pool:           dataplane.Config{Policy: dataplane.EDF, DeadlineScale: *scale, AbandonLate: true},
-		Seed:           *seed,
-		Logf:           log.Printf,
+		Pool: dataplane.Config{
+			Policy: dataplane.EDF, DeadlineScale: *scale, AbandonLate: true,
+			DisableTelemetry: *noTelemetry,
+		},
+		Seed: *seed,
+		Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer an.Close()
+	if *telemetryAddr != "" {
+		reg := an.Telemetry()
+		if reg == nil {
+			log.Fatal("-telemetry requires telemetry (drop -no-telemetry)")
+		}
+		go func() {
+			log.Printf("telemetry endpoint on http://%s/ (?format=json for JSON)", *telemetryAddr)
+			log.Fatal(http.ListenAndServe(*telemetryAddr, telemetry.Handler(reg.Snapshot)))
+		}()
+	}
 	log.Printf("pran-agent %d connected to %s (%d cores)", *id, *addr, *cores)
 	if err := an.Run(); err != nil {
 		log.Fatal(err)

@@ -1,5 +1,5 @@
 // Command pran-bench regenerates the PRAN evaluation: every reconstructed
-// table and figure (E1–E13, indexed in DESIGN.md §4) as printable tables.
+// table and figure (E1–E14, indexed in DESIGN.md §4) as printable tables.
 //
 // Usage:
 //
@@ -8,6 +8,7 @@
 //	pran-bench -run E4        # one experiment
 //	pran-bench -list          # list experiment IDs
 //	pran-bench -json outdir   # additionally write BENCH_<id>.json per result
+//	pran-bench -telemetry     # dump the process telemetry snapshot after the run
 //	pran-bench -cpuprofile cpu.out -run E13   # profile one experiment
 package main
 
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"pran/internal/experiments"
+	"pran/internal/telemetry"
 )
 
 func main() {
@@ -32,7 +34,8 @@ func main() {
 
 func run() int {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
-	runID := flag.String("run", "", "run a single experiment by ID (E1..E13)")
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E14)")
+	dumpTelemetry := flag.Bool("telemetry", false, "print the process-default telemetry snapshot after the run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonDir := flag.String("json", "", "directory to write per-experiment BENCH_<id>.json files (empty disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -56,6 +59,7 @@ func run() int {
 		{"E11", experiments.E11ParallelSpeedup},
 		{"E12", experiments.E12KernelAblation},
 		{"E13", experiments.E13FrontEndAblation},
+		{"E14", experiments.E14TelemetryOverhead},
 	}
 
 	if *list {
@@ -117,6 +121,11 @@ func run() int {
 	if !matched {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *runID)
 		return 2
+	}
+	if *dumpTelemetry {
+		// Experiment pools that don't pass an explicit registry record into
+		// the process default; this is the run's accumulated footprint.
+		fmt.Printf("== process telemetry snapshot ==\n%s", telemetry.Default().Snapshot())
 	}
 	if failed {
 		return 1

@@ -12,11 +12,14 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	"time"
 
 	"pran/internal/controller"
 	"pran/internal/frame"
 	"pran/internal/node"
 	"pran/internal/phy"
+	"pran/internal/telemetry"
 )
 
 func main() {
@@ -24,6 +27,8 @@ func main() {
 	nCells := flag.Int("cells", 4, "number of cells to manage")
 	prb := flag.Int("prb", 6, "cell bandwidth in PRB")
 	predictive := flag.Bool("predictive", true, "predictive (vs reactive) scaling")
+	telemetryAddr := flag.String("telemetry", "", "HTTP address serving the merged cluster telemetry scrape (empty = off)")
+	scrapeEvery := flag.Duration("scrape-interval", 5*time.Second, "cadence for logging the merged cluster snapshot (0 = off)")
 	flag.Parse()
 
 	bw := phy.Bandwidth(*prb)
@@ -57,6 +62,32 @@ func main() {
 	// load reports arrive.
 	for i := 0; i < *nCells; i++ {
 		cn.Controller().ObserveCell(frame.CellID(i), 0.05)
+	}
+	// scrape pulls a merged cluster snapshot from the connected agents
+	// (plus the controller's local cluster-state metrics).
+	scrape := func() telemetry.Snapshot {
+		snap, reported, err := cn.ScrapeTelemetry(2 * time.Second)
+		if err != nil {
+			log.Printf("telemetry scrape: %v", err)
+			return telemetry.Snapshot{}
+		}
+		log.Printf("telemetry scrape merged %d agents", reported)
+		return snap
+	}
+	if *telemetryAddr != "" {
+		go func() {
+			log.Printf("telemetry endpoint on http://%s/ (?format=json for JSON)", *telemetryAddr)
+			log.Fatal(http.ListenAndServe(*telemetryAddr, telemetry.Handler(scrape)))
+		}()
+	}
+	if *scrapeEvery > 0 {
+		go func() {
+			for range time.Tick(*scrapeEvery) {
+				if snap := scrape(); len(snap.Counters)+len(snap.Gauges) > 0 {
+					log.Printf("cluster telemetry:\n%s", snap)
+				}
+			}
+		}()
 	}
 	log.Printf("pran-controller listening on %s, managing %d cells (%s)", cn.Addr(), *nCells, ctlCfg.Mode)
 	log.Fatal(cn.Serve())

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"pran/internal/telemetry"
 )
 
 // Sentinel errors for cluster membership operations.
@@ -89,6 +91,56 @@ func (s Server) Validate() error {
 type Cluster struct {
 	mu      sync.RWMutex
 	servers map[ServerID]*Server
+	tel     *clusterTelemetry // nil until SetTelemetry
+}
+
+// clusterTelemetry holds the membership metrics: one gauge per lifecycle
+// state plus a transition counter, pre-resolved so mutations only touch
+// atomic handles.
+type clusterTelemetry struct {
+	states      [4]*telemetry.Gauge // indexed by ServerState
+	transitions *telemetry.Counter
+	capacity    *telemetry.Gauge // active capacity in reference-core milli-units
+}
+
+// SetTelemetry attaches a registry: the cluster then maintains
+// cluster.servers_<state> gauges, a cluster.state_transitions counter, and a
+// cluster.active_capacity_millicores gauge across membership mutations. Pass
+// nil to detach.
+func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if reg == nil {
+		c.tel = nil
+		return
+	}
+	c.tel = &clusterTelemetry{
+		transitions: reg.Counter("cluster.state_transitions"),
+		capacity:    reg.Gauge("cluster.active_capacity_millicores"),
+	}
+	for st := Standby; st <= Failed; st++ {
+		c.tel.states[st] = reg.Gauge("cluster.servers_" + st.String())
+	}
+	c.updateTelemetryLocked()
+}
+
+// updateTelemetryLocked refreshes the state gauges; callers hold c.mu.
+func (c *Cluster) updateTelemetryLocked() {
+	if c.tel == nil {
+		return
+	}
+	var counts [4]int64
+	capacity := 0.0
+	for _, s := range c.servers {
+		if s.State >= Standby && s.State <= Failed {
+			counts[s.State]++
+		}
+		capacity += s.Capacity()
+	}
+	for st := Standby; st <= Failed; st++ {
+		c.tel.states[st].Set(counts[st])
+	}
+	c.tel.capacity.Set(int64(capacity * 1000))
 }
 
 // New returns an empty cluster.
@@ -109,6 +161,7 @@ func (c *Cluster) Add(s Server) error {
 	}
 	cp := s
 	c.servers[s.ID] = &cp
+	c.updateTelemetryLocked()
 	return nil
 }
 
@@ -135,7 +188,12 @@ func (c *Cluster) SetState(id ServerID, st ServerState) error {
 	if s.State == Failed && st != Standby {
 		return fmt.Errorf("cluster: server %d is failed: %w", id, ErrBadTransition)
 	}
+	changed := s.State != st
 	s.State = st
+	if changed && c.tel != nil {
+		c.tel.transitions.Inc(0)
+	}
+	c.updateTelemetryLocked()
 	return nil
 }
 
@@ -154,6 +212,10 @@ func (c *Cluster) Repair(id ServerID) error {
 		return fmt.Errorf("cluster: server %d not failed: %w", id, ErrBadTransition)
 	}
 	s.State = Standby
+	if c.tel != nil {
+		c.tel.transitions.Inc(0)
+	}
+	c.updateTelemetryLocked()
 	return nil
 }
 

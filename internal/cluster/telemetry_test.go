@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+
+	"pran/internal/telemetry"
+)
+
+func TestClusterTelemetryGauges(t *testing.T) {
+	reg := telemetry.New(1)
+	c, err := Uniform(4, 2, 8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTelemetry(reg)
+
+	snap := reg.Snapshot()
+	if v, _ := snap.Gauge("cluster.servers_active"); v != 2 {
+		t.Fatalf("active gauge %d", v)
+	}
+	if v, _ := snap.Gauge("cluster.servers_standby"); v != 2 {
+		t.Fatalf("standby gauge %d", v)
+	}
+	if v, _ := snap.Gauge("cluster.active_capacity_millicores"); v != 16000 {
+		t.Fatalf("capacity gauge %d", v)
+	}
+
+	if err := c.SetState(0, Draining); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fail(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Repair(3); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if v, _ := snap.Gauge("cluster.servers_active"); v != 1 {
+		t.Fatalf("active gauge after drain %d", v)
+	}
+	if v, _ := snap.Gauge("cluster.servers_draining"); v != 1 {
+		t.Fatalf("draining gauge %d", v)
+	}
+	if v, _ := snap.Gauge("cluster.servers_failed"); v != 0 {
+		t.Fatalf("failed gauge after repair %d", v)
+	}
+	if got := snap.Counter("cluster.state_transitions"); got != 3 {
+		t.Fatalf("transitions %d", got)
+	}
+	if v, _ := snap.Gauge("cluster.active_capacity_millicores"); v != 8000 {
+		t.Fatalf("capacity gauge after drain %d", v)
+	}
+
+	// A no-op transition is not a transition.
+	if err := c.SetState(1, Active); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counter("cluster.state_transitions"); got != 3 {
+		t.Fatalf("no-op transition counted: %d", got)
+	}
+}

@@ -74,6 +74,10 @@ const (
 	TError
 	// TCellLoad (agent→controller) reports one cell's compute demand.
 	TCellLoad
+	// TStatsRequest (controller→agent) asks for a telemetry snapshot.
+	TStatsRequest
+	// TStatsReport (agent→controller) answers with an encoded snapshot.
+	TStatsReport
 )
 
 // String implements fmt.Stringer.
@@ -101,6 +105,10 @@ func (t MsgType) String() string {
 		return "error"
 	case TCellLoad:
 		return "cell-load"
+	case TStatsRequest:
+		return "stats-request"
+	case TStatsReport:
+		return "stats-report"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -458,6 +466,69 @@ func (m *CellLoad) UnmarshalBinary(src []byte) error {
 	return nil
 }
 
+// StatsRequest asks the agent for its current telemetry snapshot.
+type StatsRequest struct {
+	// Seq is the request sequence number the report echoes.
+	Seq uint32
+}
+
+// Type implements Message.
+func (*StatsRequest) Type() MsgType { return TStatsRequest }
+
+// MarshalBinary implements Message.
+func (m *StatsRequest) MarshalBinary(dst []byte) []byte {
+	return binary.BigEndian.AppendUint32(dst, m.Seq)
+}
+
+// UnmarshalBinary implements Message.
+func (m *StatsRequest) UnmarshalBinary(src []byte) error {
+	if len(src) != 4 {
+		return fmt.Errorf("stats-request payload %d bytes: %w", len(src), ErrBadMessage)
+	}
+	m.Seq = binary.BigEndian.Uint32(src)
+	return nil
+}
+
+// StatsReport answers a StatsRequest with the agent's telemetry snapshot.
+// Data is the telemetry.Snapshot JSON encoding — the snapshot schema evolves
+// with the metric set, so the control protocol treats it as opaque bytes
+// rather than freezing per-metric wire fields.
+type StatsReport struct {
+	// Seq echoes the request sequence number.
+	Seq uint32
+	// ServerID identifies the reporting agent.
+	ServerID uint32
+	// Data is the encoded telemetry snapshot.
+	Data []byte
+}
+
+// Type implements Message.
+func (*StatsReport) Type() MsgType { return TStatsReport }
+
+// MarshalBinary implements Message.
+func (m *StatsReport) MarshalBinary(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, m.ServerID)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
+	dst = append(dst, m.Data...)
+	return dst
+}
+
+// UnmarshalBinary implements Message.
+func (m *StatsReport) UnmarshalBinary(src []byte) error {
+	if len(src) < 12 {
+		return fmt.Errorf("stats-report payload %d bytes: %w", len(src), ErrBadMessage)
+	}
+	m.Seq = binary.BigEndian.Uint32(src)
+	m.ServerID = binary.BigEndian.Uint32(src[4:])
+	n := binary.BigEndian.Uint32(src[8:])
+	if int(n) != len(src)-12 {
+		return fmt.Errorf("stats-report length %d vs %d: %w", n, len(src)-12, ErrBadMessage)
+	}
+	m.Data = append([]byte(nil), src[12:]...)
+	return nil
+}
+
 // newMessage returns an empty message value for a wire type.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
@@ -483,6 +554,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &ErrorMsg{}, nil
 	case TCellLoad:
 		return &CellLoad{}, nil
+	case TStatsRequest:
+		return &StatsRequest{}, nil
+	case TStatsReport:
+		return &StatsReport{}, nil
 	default:
 		return nil, fmt.Errorf("unknown message type %d: %w", t, ErrBadMessage)
 	}
@@ -530,10 +605,16 @@ func (c *Conn) WriteMessage(m Message) error {
 
 // ReadMessage reads and decodes the next frame.
 func (c *Conn) ReadMessage() (Message, error) {
+	// Always (re)arm the deadline: a zero ReadTimeout must clear any
+	// deadline a previous timed read left on the socket, or it keeps
+	// firing absolutely (e.g. the 5 s registration deadline killing the
+	// first blocking command read after it elapses).
+	var deadline time.Time
 	if c.ReadTimeout > 0 {
-		if err := c.nc.SetReadDeadline(time.Now().Add(c.ReadTimeout)); err != nil {
-			return nil, err
-		}
+		deadline = time.Now().Add(c.ReadTimeout)
+	}
+	if err := c.nc.SetReadDeadline(deadline); err != nil {
+		return nil, err
 	}
 	var hdr [5]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {

@@ -24,6 +24,9 @@ func TestMessageRoundtrips(t *testing.T) {
 		&Ack{Seq: 7},
 		&ErrorMsg{Seq: 8, Code: 2, Text: "boom"},
 		&CellLoad{ServerID: 7, Cell: 3, MilliCores: 1500, TTI: 99},
+		&StatsRequest{Seq: 9},
+		&StatsReport{Seq: 9, ServerID: 7, Data: []byte(`{"counters":[]}`)},
+		&StatsReport{Seq: 10, ServerID: 8, Data: nil},
 	}
 	for _, m := range msgs {
 		payload := m.MarshalBinary(nil)
@@ -34,9 +37,12 @@ func TestMessageRoundtrips(t *testing.T) {
 		if err := fresh.UnmarshalBinary(payload); err != nil {
 			t.Fatalf("%v: %v", m.Type(), err)
 		}
-		// Normalize nil vs empty State for comparison.
+		// Normalize nil vs empty payloads for comparison.
 		if ms, ok := fresh.(*MigrateState); ok && len(ms.State) == 0 {
 			ms.State = nil
+		}
+		if sr, ok := fresh.(*StatsReport); ok && len(sr.Data) == 0 {
+			sr.Data = nil
 		}
 		if !reflect.DeepEqual(m, fresh) {
 			t.Fatalf("%v roundtrip: %+v != %+v", m.Type(), fresh, m)
@@ -48,7 +54,7 @@ func TestMessageRejectsTruncation(t *testing.T) {
 	msgs := []Message{
 		&Register{}, &RegisterAck{}, &Heartbeat{}, &AssignCell{},
 		&RemoveCell{}, &MigrateState{}, &Drain{}, &Promote{}, &Ack{}, &ErrorMsg{},
-		&CellLoad{},
+		&CellLoad{}, &StatsRequest{}, &StatsReport{},
 	}
 	for _, m := range msgs {
 		full := m.MarshalBinary(nil)
@@ -102,7 +108,7 @@ func TestConnFraming(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for ty := TRegister; ty <= TCellLoad; ty++ {
+	for ty := TRegister; ty <= TStatsReport; ty++ {
 		if ty.String() == "" {
 			t.Fatalf("type %d has no name", ty)
 		}
@@ -383,5 +389,35 @@ func TestReadTimeout(t *testing.T) {
 		if !errors.Is(err, io.EOF) {
 			t.Fatalf("expected timeout, got %v", err)
 		}
+	}
+}
+
+// TestZeroReadTimeoutClearsDeadline is the regression test for the stale
+// socket deadline: a timed read arms an absolute deadline, and resetting
+// ReadTimeout to zero must clear it — otherwise the first blocking read
+// past the old deadline fails spuriously (this killed every agent 5 s
+// after registration, the registration handshake's timed read).
+func TestZeroReadTimeoutClearsDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	ca.ReadTimeout = 40 * time.Millisecond
+	go func() { _ = cb.WriteMessage(&Ack{Seq: 1}) }()
+	if _, err := ca.ReadMessage(); err != nil {
+		t.Fatalf("timed read: %v", err)
+	}
+	ca.ReadTimeout = 0
+	go func() {
+		// Deliver only after the stale 40 ms deadline has elapsed.
+		time.Sleep(120 * time.Millisecond)
+		_ = cb.WriteMessage(&Ack{Seq: 2})
+	}()
+	m, err := ca.ReadMessage()
+	if err != nil {
+		t.Fatalf("untimed read after stale deadline: %v", err)
+	}
+	if ack, ok := m.(*Ack); !ok || ack.Seq != 2 {
+		t.Fatalf("got %v", m)
 	}
 }

@@ -80,6 +80,13 @@ func (a *Agent) Promote() (uint32, error) {
 	return seq, a.Send(&Promote{Seq: seq})
 }
 
+// RequestStats asks the agent for a telemetry snapshot; the StatsReport
+// arrives on the handler's OnMessage with the returned sequence number.
+func (a *Agent) RequestStats() (uint32, error) {
+	seq := a.nextSeq()
+	return seq, a.Send(&StatsRequest{Seq: seq})
+}
+
 // Close terminates the agent connection.
 func (a *Agent) Close() error { return a.conn.Close() }
 
@@ -160,6 +167,17 @@ func (s *Server) NumAgents() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.agents)
+}
+
+// Agents returns the currently connected agents (no particular order).
+func (s *Server) Agents() []*Agent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Agent, 0, len(s.agents))
+	for _, a := range s.agents {
+		out = append(out, a)
+	}
+	return out
 }
 
 func (s *Server) serveConn(nc net.Conn) {
@@ -303,6 +321,11 @@ func (c *Client) SendMigrateState(cell uint16, state []byte) error {
 // SendCellLoad reports one cell's compute demand.
 func (c *Client) SendCellLoad(cell uint16, milliCores uint32, tti uint64) error {
 	return c.conn.WriteMessage(&CellLoad{ServerID: c.serverID, Cell: cell, MilliCores: milliCores, TTI: tti})
+}
+
+// SendStatsReport answers a StatsRequest with the encoded snapshot.
+func (c *Client) SendStatsReport(seq uint32, data []byte) error {
+	return c.conn.WriteMessage(&StatsReport{Seq: seq, ServerID: c.serverID, Data: data})
 }
 
 // Close terminates the connection.

@@ -24,7 +24,8 @@ type CellProcessor struct {
 	grid  *frame.Grid
 	harq  *HARQManager
 	pool  *Pool
-	reBuf []complex128 // reusable RE extraction buffer (max allocation)
+	tel   *cellTelemetry // nil when the pool's telemetry is disabled
+	reBuf []complex128   // reusable RE extraction buffer (max allocation)
 	// FFTTime accumulates time spent in the cell-level FFT stage.
 	FFTTime time.Duration
 
@@ -53,14 +54,18 @@ func NewCellProcessor(cfg frame.CellConfig, pool *Pool) (*CellProcessor, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &CellProcessor{
+	c := &CellProcessor{
 		cfg:   cfg,
 		ofdm:  ofdm,
 		grid:  grid,
 		harq:  NewHARQManager(),
 		pool:  pool,
 		reBuf: make([]complex128, cfg.Bandwidth.PRB()*phy.DataREsPerPRB),
-	}, nil
+	}
+	if pool.tel != nil {
+		c.tel = newCellTelemetry(pool.tel, cfg.ID)
+	}
+	return c, nil
 }
 
 // Config returns the cell configuration.
@@ -132,6 +137,13 @@ func (c *CellProcessor) IngestSubframe(samples []complex128, work frame.Subframe
 		if sb, st := c.harq.prepareOwned(a, work.TTI); sb != nil {
 			t.Soft = sb
 			t.softState = st
+		}
+		if c.tel != nil {
+			c.tel.tasks.Inc(c.tel.shard)
+			if a.RV != 0 {
+				c.tel.harqRetx.Inc(c.tel.shard)
+				c.pool.tel.harqRetx.Inc(c.pool.tel.driverShard)
+			}
 		}
 		if err := c.pool.Submit(t); err != nil {
 			return err

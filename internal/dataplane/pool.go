@@ -8,6 +8,7 @@ import (
 
 	"pran/internal/metrics"
 	"pran/internal/phy"
+	"pran/internal/telemetry"
 )
 
 // Pool scheduling policies.
@@ -78,6 +79,15 @@ type Config struct {
 	// NaiveAlloc disables worker-local processor caching so every task
 	// allocates fresh DSP state — the GC-pressure ablation knob.
 	NaiveAlloc bool
+	// Telemetry selects the registry this pool records runtime metrics
+	// into; nil means the process-wide telemetry.Default(). Telemetry is
+	// default-on — the record path is lock-free and allocation-free, and
+	// experiment E14 pins its overhead below 1% — so measured runs may
+	// leave it enabled. Set DisableTelemetry to opt out entirely.
+	Telemetry *telemetry.Registry
+	// DisableTelemetry turns off all runtime instrumentation for this
+	// pool (Pool.Telemetry then returns nil).
+	DisableTelemetry bool
 }
 
 // Validate checks the configuration.
@@ -140,6 +150,7 @@ func (s Stats) MissRate() float64 {
 // Create with NewPool, feed with Submit, stop with Close.
 type Pool struct {
 	cfg Config
+	tel *poolTelemetry // nil when Config.DisableTelemetry
 
 	mu   sync.Mutex
 	cond *sync.Cond // wakes workers: signaled per Submit, broadcast on Close
@@ -162,6 +173,13 @@ func NewPool(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	p := &Pool{cfg: cfg}
+	if !cfg.DisableTelemetry {
+		reg := cfg.Telemetry
+		if reg == nil {
+			reg = telemetry.Default()
+		}
+		p.tel = newPoolTelemetry(reg, cfg.Workers)
+	}
 	p.cond = sync.NewCond(&p.mu)
 	p.idle = sync.NewCond(&p.mu)
 	p.queue.fifo = cfg.Policy == FIFO
@@ -176,6 +194,15 @@ func NewPool(cfg Config) (*Pool, error) {
 // Config returns the pool's configuration.
 func (p *Pool) Config() Config { return p.cfg }
 
+// Telemetry returns the registry this pool records into, or nil when
+// instrumentation is disabled. Scrape it with Telemetry().Snapshot().
+func (p *Pool) Telemetry() *telemetry.Registry {
+	if p.tel == nil {
+		return nil
+	}
+	return p.tel.reg
+}
+
 // Submit enqueues a task. The task's Deadline must already be set (use
 // Config.Budget from its Enqueued time); OnDone fires on a worker goroutine
 // when the task completes or is abandoned.
@@ -187,7 +214,12 @@ func (p *Pool) Submit(t *Task) error {
 	}
 	p.stats.Submitted++
 	p.queue.push(t)
+	depth := p.queue.Len()
 	p.mu.Unlock()
+	if p.tel != nil {
+		p.tel.submitted.Inc(p.tel.driverShard)
+		p.tel.queueDepth.Set(int64(depth))
+	}
 	p.cond.Signal()
 	return nil
 }
@@ -242,6 +274,9 @@ func (p *Pool) next() *Task {
 		if p.queue.Len() > 0 {
 			t := p.queue.pop()
 			p.inflight++
+			if p.tel != nil {
+				p.tel.queueDepth.Set(int64(p.queue.Len()))
+			}
 			return t
 		}
 		if p.closed {
@@ -251,8 +286,9 @@ func (p *Pool) next() *Task {
 	}
 }
 
-// finish records completion accounting for a task.
-func (p *Pool) finish(t *Task) {
+// finish records completion accounting for a task. shard is the finishing
+// worker's ID, used as the telemetry shard so per-worker breakdowns line up.
+func (p *Pool) finish(t *Task, shard int) {
 	p.mu.Lock()
 	p.inflight--
 	switch {
@@ -277,6 +313,26 @@ func (p *Pool) finish(t *Task) {
 		p.idle.Broadcast()
 	}
 	p.mu.Unlock()
+	if tel := p.tel; tel != nil {
+		switch {
+		case errors.Is(t.Err, ErrAbandoned):
+			tel.abandoned.Inc(shard)
+		case errors.Is(t.Err, phy.ErrCRC):
+			tel.crcFail.Inc(shard)
+			tel.completed.Inc(shard)
+		default:
+			tel.completed.Inc(shard)
+		}
+		if t.Missed() {
+			tel.misses.Inc(shard)
+		}
+		tel.latency.ObserveDuration(shard, t.Latency())
+		if !t.Started.IsZero() {
+			busy := t.Finished.Sub(t.Started)
+			tel.procTime.ObserveDuration(shard, busy)
+			tel.busyNanos.Add(shard, uint64(busy.Nanoseconds()))
+		}
+	}
 	if t.OnDone != nil {
 		t.OnDone(t)
 	}

@@ -73,7 +73,7 @@ func (w *worker) run() {
 			return
 		}
 		w.execute(t)
-		w.pool.finish(t)
+		w.pool.finish(t, w.id)
 	}
 }
 
@@ -105,4 +105,13 @@ func (w *worker) execute(t *Task) {
 	t.Err = err
 	t.TurboIterations = proc.Timings.TurboIterations
 	t.Finished = time.Now()
+	if tel := w.pool.tel; tel != nil {
+		// Under the fused+parallel overlap per-block front-ends fold into
+		// TurboDecode (see phy.StageTimings), so the front-end histogram
+		// records 0 there rather than a fabricated split.
+		tm := proc.Timings
+		tel.frontEnd.ObserveDuration(w.id, tm.Demodulate+tm.Descramble+tm.Dematch+tm.FrontEnd)
+		tel.turbo.ObserveDuration(w.id, tm.TurboDecode)
+		tel.crc.ObserveDuration(w.id, tm.CRCCheck)
+	}
 }

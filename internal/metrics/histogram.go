@@ -11,12 +11,19 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"time"
 )
+
+// ErrSpecMismatch marks an attempt to merge histograms (or serialized
+// histogram states) whose bucket specifications differ. Aggregation points —
+// the telemetry snapshot merger, the cluster-wide scrape — must surface it
+// rather than mis-bin observations.
+var ErrSpecMismatch = errors.New("metrics: histogram spec mismatch")
 
 // Histogram is a log-scale histogram tuned for latency-like, non-negative
 // measurements spanning several orders of magnitude (nanoseconds to seconds).
@@ -160,12 +167,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // Merge adds all observations recorded by other into h. The two histograms
-// must have identical bucket layouts (use the same constructor arguments).
+// must have identical bucket layouts (use the same constructor arguments);
+// a cross-spec merge is an explicit error naming both layouts, never a
+// silent mis-binning. The low/high overflow counters merge like any bucket.
 func (h *Histogram) Merge(other *Histogram) error {
 	h.lazyInit()
 	other.lazyInit()
 	if len(h.buckets) != len(other.buckets) || h.min != other.min || h.max != other.max {
-		return fmt.Errorf("metrics: cannot merge histograms with different layouts")
+		return fmt.Errorf("metrics: cannot merge histogram spec [%g, %g]/%d with [%g, %g]/%d: %w",
+			h.min, h.max, len(h.buckets), other.min, other.max, len(other.buckets), ErrSpecMismatch)
 	}
 	for i, c := range other.buckets {
 		h.buckets[i] += c
@@ -195,6 +205,77 @@ func (h *Histogram) Reset() {
 	h.sum, h.sumSq = 0, 0
 	h.vMin = math.Inf(1)
 	h.vMax = math.Inf(-1)
+}
+
+// HistogramState is the exported raw state of a Histogram, used to ship
+// histograms across process boundaries (telemetry scrapes, JSON exposition)
+// and merge them on the far side. VMin/VMax are reported as 0 when Count is
+// 0 so the struct always JSON-encodes (the internal empty-histogram extrema
+// are ±Inf, which encoding/json rejects).
+type HistogramState struct {
+	// Min and Max are the bucket range spec; BucketN its resolution.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Buckets holds the per-bucket observation counts.
+	Buckets []uint64 `json:"buckets"`
+	// Count is the total number of observations, including overflows.
+	Count uint64 `json:"count"`
+	// Low and High count observations below Min and at/above Max.
+	Low  uint64 `json:"low"`
+	High uint64 `json:"high"`
+	// Sum and SumSq accumulate Σv and Σv².
+	Sum   float64 `json:"sum"`
+	SumSq float64 `json:"sum_sq"`
+	// VMin and VMax are the observed extrema (0 when Count is 0).
+	VMin float64 `json:"vmin"`
+	VMax float64 `json:"vmax"`
+}
+
+// State exports the histogram's raw state.
+func (h *Histogram) State() HistogramState {
+	h.lazyInit()
+	s := HistogramState{
+		Min:     h.min,
+		Max:     h.max,
+		Buckets: append([]uint64(nil), h.buckets...),
+		Count:   h.count,
+		Low:     h.low,
+		High:    h.high,
+		Sum:     h.sum,
+		SumSq:   h.sumSq,
+	}
+	if h.count > 0 {
+		s.VMin, s.VMax = h.vMin, h.vMax
+	}
+	return s
+}
+
+// FromState rebuilds a Histogram from exported state. The spec must be
+// valid (same constraints as NewHistogram); malformed state is an error, not
+// a panic, since it typically arrives over the wire.
+func FromState(s HistogramState) (*Histogram, error) {
+	if !(s.Min > 0) || !(s.Max > s.Min) || len(s.Buckets) == 0 {
+		return nil, fmt.Errorf("metrics: invalid histogram state min=%v max=%v n=%d: %w",
+			s.Min, s.Max, len(s.Buckets), ErrSpecMismatch)
+	}
+	h := NewHistogram(s.Min, s.Max, len(s.Buckets))
+	copy(h.buckets, s.Buckets)
+	h.count, h.low, h.high = s.Count, s.Low, s.High
+	h.sum, h.sumSq = s.Sum, s.SumSq
+	if s.Count > 0 {
+		h.vMin, h.vMax = s.VMin, s.VMax
+	}
+	return h, nil
+}
+
+// MergeState folds exported histogram state into h, with the same spec
+// discipline as Merge.
+func (h *Histogram) MergeState(s HistogramState) error {
+	o, err := FromState(s)
+	if err != nil {
+		return err
+	}
+	return h.Merge(o)
 }
 
 // String renders a one-line summary suited for bench harness output.

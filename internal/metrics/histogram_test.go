@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/json"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -88,6 +90,130 @@ func TestHistogramMerge(t *testing.T) {
 	c := NewHistogram(1e-5, 10, 128)
 	if err := a.Merge(c); err == nil {
 		t.Fatal("layout mismatch accepted")
+	}
+}
+
+func TestHistogramMergeCrossSpecError(t *testing.T) {
+	// Every way two specs can differ must fail loudly with ErrSpecMismatch;
+	// the error text must name both layouts so a scrape-merge failure is
+	// diagnosable from the log line alone.
+	base := NewHistogram(1e-6, 10, 128)
+	for _, other := range []*Histogram{
+		NewHistogram(1e-5, 10, 128), // different min
+		NewHistogram(1e-6, 20, 128), // different max
+		NewHistogram(1e-6, 10, 64),  // different resolution
+	} {
+		err := base.Merge(other)
+		if !errors.Is(err, ErrSpecMismatch) {
+			t.Fatalf("cross-spec merge: got %v, want ErrSpecMismatch", err)
+		}
+		if !strings.Contains(err.Error(), "128") {
+			t.Fatalf("error %q does not name the receiver layout", err)
+		}
+	}
+	// Matching specs must still merge.
+	if err := base.Merge(NewHistogram(1e-6, 10, 128)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeOverflowBuckets(t *testing.T) {
+	// Observations below min and at/above max live in the low/high overflow
+	// counters; a merge must carry them across, keep the total count
+	// consistent, and keep quantiles clamping to the covered range.
+	a := NewHistogram(1e-3, 1, 64)
+	b := NewHistogram(1e-3, 1, 64)
+	for i := 0; i < 10; i++ {
+		a.Observe(1e-6) // low overflow in a
+		b.Observe(50)   // high overflow in b
+	}
+	a.Observe(0.5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	st := a.State()
+	if st.Low != 10 || st.High != 10 {
+		t.Fatalf("overflow counters low=%d high=%d after merge", st.Low, st.High)
+	}
+	var inRange uint64
+	for _, c := range st.Buckets {
+		inRange += c
+	}
+	if st.Count != st.Low+st.High+inRange {
+		t.Fatalf("count %d != low %d + high %d + buckets %d", st.Count, st.Low, st.High, inRange)
+	}
+	if a.Count() != 21 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	// Quantiles clamp: the lowest mass sits at the range floor, the highest
+	// beyond the ceiling (reported as the observed max).
+	if q := a.Quantile(0.01); q > 1e-3 {
+		t.Fatalf("low-overflow quantile %v above range floor", q)
+	}
+	if q := a.Quantile(1); q != 50 {
+		t.Fatalf("max quantile %v, want observed max 50", q)
+	}
+	if a.Min() != 1e-6 || a.Max() != 50 {
+		t.Fatalf("extrema %v/%v not carried through merge", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramStateRoundtrip(t *testing.T) {
+	h := NewHistogram(1e-6, 10, 128)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		h.Observe(math.Exp(rng.NormFloat64()*2 - 6))
+	}
+	h.Observe(1e-9) // force an overflow each side
+	h.Observe(100)
+	got, err := FromState(h.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() || got.Mean() != h.Mean() || got.Min() != h.Min() || got.Max() != h.Max() {
+		t.Fatalf("state roundtrip changed summary: %v vs %v", got, h)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("quantile %v changed through roundtrip", q)
+		}
+	}
+	// MergeState doubles everything.
+	if err := got.MergeState(h.State()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 2*h.Count() {
+		t.Fatalf("merge-state count %d", got.Count())
+	}
+	// Cross-spec state is rejected both on rebuild and on merge.
+	bad := h.State()
+	bad.Min = 0
+	if _, err := FromState(bad); !errors.Is(err, ErrSpecMismatch) {
+		t.Fatalf("invalid state accepted: %v", err)
+	}
+	other := NewHistogram(1e-5, 10, 128).State()
+	if err := got.MergeState(other); !errors.Is(err, ErrSpecMismatch) {
+		t.Fatalf("cross-spec merge-state accepted: %v", err)
+	}
+}
+
+func TestHistogramStateEmptyEncodable(t *testing.T) {
+	// An empty histogram's internal extrema are ±Inf; the exported state
+	// must stay JSON-encodable.
+	st := NewHistogram(1e-6, 10, 8).State()
+	if st.VMin != 0 || st.VMax != 0 {
+		t.Fatalf("empty-state extrema %v/%v not normalized", st.VMin, st.VMax)
+	}
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("empty state not JSON-encodable: %v", err)
+	}
+	h, err := FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(0.5)
+	if h.Min() != 0.5 || h.Max() != 0.5 {
+		t.Fatal("rebuilt empty histogram lost ±Inf extrema sentinels")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"pran/internal/dataplane"
 	"pran/internal/frame"
 	"pran/internal/phy"
+	"pran/internal/telemetry"
 	"pran/internal/traffic"
 )
 
@@ -47,6 +48,14 @@ type cellRuntime struct {
 	gen  *traffic.Generator
 	// demand is the EWMA compute demand reported to the controller.
 	demand float64
+	// demandGauge mirrors demand into the telemetry registry (nil when
+	// telemetry is disabled).
+	demandGauge *telemetry.Gauge
+}
+
+// cellDemandMetric names the per-cell demand gauge the agent maintains.
+func cellDemandMetric(id frame.CellID) string {
+	return fmt.Sprintf("cell.%d.demand_millicores", id)
 }
 
 // AgentNode is one pool server: it registers with the controller, runs the
@@ -109,6 +118,26 @@ func NewAgentNode(cfg AgentConfig) (*AgentNode, error) {
 
 // Pool exposes the local data plane.
 func (a *AgentNode) Pool() *dataplane.Pool { return a.pool }
+
+// Telemetry returns the agent's runtime-metrics registry, or nil when the
+// pool runs with telemetry disabled.
+func (a *AgentNode) Telemetry() *telemetry.Registry { return a.pool.Telemetry() }
+
+// encodeTelemetry serializes the agent's snapshot for a stats report; it
+// returns nil when telemetry is disabled or encoding fails (the report then
+// carries an empty payload, which the controller counts but does not merge).
+func (a *AgentNode) encodeTelemetry() []byte {
+	reg := a.pool.Telemetry()
+	if reg == nil {
+		return nil
+	}
+	data, err := reg.Snapshot().Encode()
+	if err != nil {
+		a.logf("agent %d: encode telemetry: %v", a.cfg.ServerID, err)
+		return nil
+	}
+	return data
+}
 
 // NumCells returns how many cells the agent currently runs.
 func (a *AgentNode) NumCells() int {
@@ -176,6 +205,8 @@ func (a *AgentNode) commandLoop() error {
 			_ = a.client.Ack(t.Seq)
 		case *ctrlproto.Promote:
 			_ = a.client.Ack(t.Seq)
+		case *ctrlproto.StatsRequest:
+			_ = a.client.SendStatsReport(t.Seq, a.encodeTelemetry())
 		}
 	}
 }
@@ -206,8 +237,12 @@ func (a *AgentNode) assignCell(cmd *ctrlproto.AssignCell) error {
 	if err != nil {
 		return err
 	}
+	rt := &cellRuntime{cfg: cellCfg, rrh: rrh, proc: proc, gen: gen}
+	if reg := a.pool.Telemetry(); reg != nil {
+		rt.demandGauge = reg.Gauge(cellDemandMetric(cellCfg.ID))
+	}
 	a.mu.Lock()
-	a.cells[cellCfg.ID] = &cellRuntime{cfg: cellCfg, rrh: rrh, proc: proc, gen: gen}
+	a.cells[cellCfg.ID] = rt
 	if state, ok := a.pendingState[cellCfg.ID]; ok {
 		delete(a.pendingState, cellCfg.ID)
 		if err := proc.HARQ().UnmarshalBinary(state); err != nil {
@@ -220,6 +255,9 @@ func (a *AgentNode) assignCell(cmd *ctrlproto.AssignCell) error {
 
 func (a *AgentNode) removeCell(id frame.CellID) {
 	a.mu.Lock()
+	if rt, ok := a.cells[id]; ok && rt.demandGauge != nil {
+		rt.demandGauge.Set(0) // the cell no longer demands compute here
+	}
 	delete(a.cells, id)
 	a.mu.Unlock()
 }
@@ -292,6 +330,9 @@ func (a *AgentNode) ttiLoop() {
 			cost := a.model.SubframeCost(work, rt.cfg.Bandwidth, rt.cfg.Antennas)
 			d := cluster.CoreFraction(cost)
 			rt.demand += 0.2 * (d - rt.demand)
+			if rt.demandGauge != nil {
+				rt.demandGauge.Set(int64(rt.demand * 1000))
+			}
 		}
 		a.mu.Unlock()
 	}

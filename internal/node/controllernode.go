@@ -27,6 +27,7 @@ import (
 	"pran/internal/ctrlproto"
 	"pran/internal/frame"
 	"pran/internal/phy"
+	"pran/internal/telemetry"
 )
 
 // CellSpecNet describes a cell the controller is responsible for assigning.
@@ -48,12 +49,19 @@ type ControllerNode struct {
 	cells  map[frame.CellID]CellSpecNet
 	logf   func(format string, args ...any)
 	period time.Duration
+	reg    *telemetry.Registry
 
 	mu      sync.Mutex
 	applied controller.Placement // what agents have been told
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 	started bool
+
+	// statsMu guards the scrape correlation map: agent ID → the channel
+	// awaiting that agent's StatsReport. Kept separate from mu because
+	// reports arrive on reader goroutines while a scraper may hold mu.
+	statsMu      sync.Mutex
+	statsPending map[uint32]chan []byte
 }
 
 // ControllerConfig parameterizes a controller node.
@@ -66,6 +74,9 @@ type ControllerConfig struct {
 	Period time.Duration
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...any)
+	// Telemetry selects the controller's local registry (cluster state
+	// gauges, merged into scrapes); nil means telemetry.Default().
+	Telemetry *telemetry.Registry
 }
 
 // NewControllerNode builds a controller node listening on ln. The cluster
@@ -84,14 +95,21 @@ func NewControllerNode(ln net.Listener, cfg ControllerConfig) (*ControllerNode, 
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	ctl.Cluster().SetTelemetry(reg)
 	n := &ControllerNode{
-		ctl:     ctl,
-		cells:   make(map[frame.CellID]CellSpecNet, len(cfg.Cells)),
-		logf:    cfg.Logf,
-		period:  cfg.Period,
-		applied: make(controller.Placement),
-		stopCh:  make(chan struct{}),
-		doneCh:  make(chan struct{}),
+		ctl:          ctl,
+		cells:        make(map[frame.CellID]CellSpecNet, len(cfg.Cells)),
+		logf:         cfg.Logf,
+		period:       cfg.Period,
+		reg:          reg,
+		applied:      make(controller.Placement),
+		stopCh:       make(chan struct{}),
+		doneCh:       make(chan struct{}),
+		statsPending: make(map[uint32]chan []byte),
 	}
 	for _, c := range cfg.Cells {
 		n.cells[c.ID] = c
@@ -134,6 +152,16 @@ func (h *ctrlHandler) OnMessage(a *ctrlproto.Agent, m ctrlproto.Message) {
 	switch t := m.(type) {
 	case *ctrlproto.CellLoad:
 		n.ctl.ObserveCell(frame.CellID(t.Cell), float64(t.MilliCores)/1000)
+	case *ctrlproto.StatsReport:
+		n.statsMu.Lock()
+		ch, ok := n.statsPending[a.ID]
+		if ok {
+			delete(n.statsPending, a.ID)
+		}
+		n.statsMu.Unlock()
+		if ok {
+			ch <- t.Data // buffered; never blocks the reader goroutine
+		}
 	case *ctrlproto.MigrateState:
 		n.mu.Lock()
 		dst, ok := n.ctl.Placement()[frame.CellID(t.Cell)]
@@ -251,6 +279,65 @@ func (n *ControllerNode) pushPlacementLocked() {
 		}
 		n.applied[cell] = srv
 	}
+}
+
+// Telemetry returns the controller's local registry.
+func (n *ControllerNode) Telemetry() *telemetry.Registry { return n.reg }
+
+// ScrapeTelemetry asks every connected agent for its telemetry snapshot and
+// returns the cluster-wide merge (agent pool/cell metrics summed by name,
+// histograms merged bucket-wise, plus the controller's own cluster-state
+// metrics). It reports how many agents answered within the timeout; agents
+// running with telemetry disabled answer with an empty snapshot and still
+// count. A histogram spec mismatch between agents is returned as an error
+// (wrapping metrics.ErrSpecMismatch) rather than blending buckets.
+func (n *ControllerNode) ScrapeTelemetry(timeout time.Duration) (telemetry.Snapshot, int, error) {
+	agents := n.srv.Agents()
+	chans := make(map[uint32]chan []byte, len(agents))
+	n.statsMu.Lock()
+	for _, a := range agents {
+		ch := make(chan []byte, 1)
+		n.statsPending[a.ID] = ch
+		chans[a.ID] = ch
+	}
+	n.statsMu.Unlock()
+	for _, a := range agents {
+		if _, err := a.RequestStats(); err != nil {
+			n.statsMu.Lock()
+			delete(n.statsPending, a.ID)
+			n.statsMu.Unlock()
+			delete(chans, a.ID)
+			n.logf("controller: stats request to %d: %v", a.ID, err)
+		}
+	}
+
+	merged := n.reg.Snapshot()
+	reported := 0
+	deadline := time.Now().Add(timeout)
+	for id, ch := range chans {
+		var data []byte
+		select {
+		case data = <-ch:
+		case <-time.After(time.Until(deadline)):
+			n.statsMu.Lock()
+			delete(n.statsPending, id)
+			n.statsMu.Unlock()
+			n.logf("controller: stats scrape of %d timed out", id)
+			continue
+		}
+		reported++
+		if len(data) == 0 {
+			continue // agent runs with telemetry disabled
+		}
+		snap, err := telemetry.DecodeSnapshot(data)
+		if err != nil {
+			return telemetry.Snapshot{}, reported, fmt.Errorf("node: agent %d: %w", id, err)
+		}
+		if merged, err = merged.Merge(snap); err != nil {
+			return telemetry.Snapshot{}, reported, fmt.Errorf("node: agent %d: %w", id, err)
+		}
+	}
+	return merged, reported, nil
 }
 
 // Applied returns a copy of the placement as pushed to agents.

@@ -1,0 +1,377 @@
+// Package telemetry is PRAN's runtime observability layer: a lock-free,
+// sharded metrics registry the hot paths record into while scrapers read
+// concurrently, merged on demand into immutable snapshots with a text/JSON
+// exposition format.
+//
+// It complements internal/metrics rather than replacing it: metrics holds
+// the unsynchronized measurement primitives experiments use after workers
+// quiesce; telemetry answers "what is the pool doing *right now*" without
+// stopping it. Snapshot histograms export through metrics.HistogramState so
+// quantile math and cross-process merging reuse metrics.Histogram.
+//
+// # Shard model
+//
+// Every metric is a vector of cache-line-padded atomic slots, one per shard.
+// A recorder passes its shard index (pool workers use their worker ID, the
+// driver side uses NumShards-1); indices are masked into range, so any int
+// is safe. Records are single atomic RMW operations — no locks, no
+// allocation, no branching on registry state — which makes the record path
+// safe from any goroutine and cheap enough to leave on in measured runs
+// (experiment E14 pins the overhead).
+//
+// Shards exist purely to avoid cross-core cache-line contention; correctness
+// never depends on shard ownership. Snapshot sums the shards.
+//
+// # Consistency
+//
+// A snapshot is not a point-in-time cut: each slot is read atomically but
+// the metric set is read while recorders keep running. The guarantees are
+// per-metric: counters are monotonic across snapshots, and a histogram's
+// Count equals Low + High + Σ Buckets by construction (Count is derived from
+// the bucket reads, not read separately). Sum/SumSq may trail the bucket
+// counts by in-flight observations; derived means are approximate during
+// recording and exact once recorders quiesce.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pran/internal/metrics"
+)
+
+// slot is one shard's counter cell, padded to a cache line so adjacent
+// shards never false-share.
+type slot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing sharded counter.
+type Counter struct {
+	name  string
+	slots []slot
+	mask  uint32
+}
+
+// Add increments the counter by n on the given shard.
+func (c *Counter) Add(shard int, n uint64) {
+	c.slots[uint32(shard)&c.mask].v.Add(n)
+}
+
+// Inc increments the counter by one on the given shard.
+func (c *Counter) Inc(shard int) { c.Add(shard, 1) }
+
+// Value sums the shards.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.slots {
+		total += c.slots[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is an instantaneous value. It is a single slot, not sharded: gauges
+// represent one quantity (queue depth, per-cell demand), not a per-shard
+// accumulation, and are written at far lower rates than counters.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histShard is one shard of a histogram: the log-scale bucket counts plus
+// the streaming moments and extrema. Buckets lead so the hot bucket
+// increment lands in the same lines as the shard header.
+type histShard struct {
+	low, high atomic.Uint64
+	sumBits   atomic.Uint64 // float64 bits, CAS-accumulated
+	sumSqBits atomic.Uint64
+	minBits   atomic.Uint64 // float64 bits; math.Inf(1) when empty
+	maxBits   atomic.Uint64 // float64 bits; math.Inf(-1) when empty
+	_         [16]byte
+	buckets   []atomic.Uint64
+}
+
+// Histogram is a sharded log-scale histogram with the same bucket geometry
+// as metrics.Histogram; snapshots export it as metrics.HistogramState.
+type Histogram struct {
+	name     string
+	min, max float64
+	scale    float64 // buckets / log(max/min), as in metrics.Histogram
+	shards   []histShard
+	mask     uint32
+}
+
+// Observe records one non-negative measurement on the given shard. The
+// record path performs no allocation and takes no locks.
+func (h *Histogram) Observe(shard int, v float64) {
+	s := &h.shards[uint32(shard)&h.mask]
+	switch {
+	case v < h.min:
+		s.low.Add(1)
+	case v >= h.max:
+		s.high.Add(1)
+	default:
+		i := int(math.Log(v/h.min) * h.scale)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s.buckets) {
+			i = len(s.buckets) - 1
+		}
+		s.buckets[i].Add(1)
+	}
+	addFloat(&s.sumBits, v)
+	addFloat(&s.sumSqBits, v*v)
+	casMin(&s.minBits, v)
+	casMax(&s.maxBits, v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(shard int, d time.Duration) {
+	h.Observe(shard, d.Seconds())
+}
+
+// addFloat accumulates a float64 into atomic bits via CAS. Shards are
+// effectively single-writer (each worker records into its own), so the loop
+// converges on the first iteration; the CAS keeps accidental multi-writer
+// use correct rather than silently lossy.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func casMin(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func casMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram
+// lookups) takes the registry mutex and may allocate — resolve handles once
+// at setup, not on hot paths. Recording through the returned handles is
+// lock-free. Snapshot may run concurrently with recording.
+type Registry struct {
+	shards int
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns a registry whose metric vectors carry the given number of
+// shards, rounded up to a power of two (minimum 1) so shard indices mask
+// instead of divide.
+func New(shards int) *Registry {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &Registry{
+		shards:   n,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// NumShards returns the (power-of-two) shard count.
+func (r *Registry) NumShards() int { return r.shards }
+
+// defaultRegistry is the process-wide registry components fall back to when
+// not handed an explicit one — this is what makes telemetry default-on.
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry, sized to GOMAXPROCS shards.
+// Multiple pools may share it; counters then aggregate across pools.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		defaultReg = New(runtime.GOMAXPROCS(0))
+	})
+	return defaultReg
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, slots: make([]slot, r.shards), mask: uint32(r.shards - 1)}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// DefaultHistBuckets is the per-histogram resolution; the [min, max] range
+// is chosen per metric. 128 buckets over a typical [1µs, 16s] range gives
+// ~12% relative bucket width — enough for p50/p95/p99 at scrape time.
+const DefaultHistBuckets = 128
+
+// Histogram returns the named log-scale histogram covering [min, max) with
+// n buckets, creating it on first use. Requesting an existing name with a
+// different spec panics: two call sites disagreeing on a metric's geometry
+// is a programming error that silent reuse would turn into mis-binned data.
+func (r *Registry) Histogram(name string, min, max float64, n int) *Histogram {
+	if !(min > 0) || !(max > min) || n <= 0 {
+		panic(fmt.Sprintf("telemetry: invalid histogram spec %q min=%v max=%v n=%d", name, min, max, n))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		if h.min != min || h.max != max || len(h.shards[0].buckets) != n {
+			panic(fmt.Sprintf("telemetry: histogram %q re-registered with spec [%g, %g]/%d, have [%g, %g]/%d",
+				name, min, max, n, h.min, h.max, len(h.shards[0].buckets)))
+		}
+		return h
+	}
+	h := &Histogram{
+		name:   name,
+		min:    min,
+		max:    max,
+		scale:  float64(n) / math.Log(max/min),
+		shards: make([]histShard, r.shards),
+		mask:   uint32(r.shards - 1),
+	}
+	for i := range h.shards {
+		h.shards[i].buckets = make([]atomic.Uint64, n)
+		h.shards[i].minBits.Store(math.Float64bits(math.Inf(1)))
+		h.shards[i].maxBits.Store(math.Float64bits(math.Inf(-1)))
+	}
+	r.hists[name] = h
+	return h
+}
+
+// LatencyHistogram returns the named histogram with the standard latency
+// range [1µs, 16s) at DefaultHistBuckets resolution — the spec every
+// latency-like metric in the data plane shares, so cross-agent merges never
+// hit a spec mismatch.
+func (r *Registry) LatencyHistogram(name string) *Histogram {
+	return r.Histogram(name, 1e-6, 16, DefaultHistBuckets)
+}
+
+// Snapshot captures every metric into an immutable Snapshot. It may run
+// concurrently with recording; see the package comment for the consistency
+// model.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, c := range counters {
+		cs := CounterSnap{Name: c.name, Shards: make([]uint64, len(c.slots))}
+		for i := range c.slots {
+			v := c.slots[i].v.Load()
+			cs.Shards[i] = v
+			cs.Value += v
+		}
+		s.Counters = append(s.Counters, cs)
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Value: g.Value()})
+	}
+	for _, h := range hists {
+		s.Histograms = append(s.Histograms, HistSnap{Name: h.name, State: h.state()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// state merges a histogram's shards into exported state. Count derives from
+// the bucket reads so Count == Low + High + Σ Buckets holds in every
+// snapshot, even mid-recording.
+func (h *Histogram) state() metrics.HistogramState {
+	n := len(h.shards[0].buckets)
+	st := metrics.HistogramState{Min: h.min, Max: h.max, Buckets: make([]uint64, n)}
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	for i := range h.shards {
+		s := &h.shards[i]
+		for b := range s.buckets {
+			c := s.buckets[b].Load()
+			st.Buckets[b] += c
+			st.Count += c
+		}
+		low, high := s.low.Load(), s.high.Load()
+		st.Low += low
+		st.High += high
+		st.Count += low + high
+		st.Sum += math.Float64frombits(s.sumBits.Load())
+		st.SumSq += math.Float64frombits(s.sumSqBits.Load())
+		if v := math.Float64frombits(s.minBits.Load()); v < vMin {
+			vMin = v
+		}
+		if v := math.Float64frombits(s.maxBits.Load()); v > vMax {
+			vMax = v
+		}
+	}
+	if st.Count > 0 && !math.IsInf(vMin, 1) {
+		st.VMin, st.VMax = vMin, vMax
+	}
+	return st
+}
