@@ -117,3 +117,11 @@ func BenchmarkE13_FrontEndAblation(b *testing.B) {
 func BenchmarkE14_TelemetryOverhead(b *testing.B) {
 	report(b, experiments.E14TelemetryOverhead)
 }
+
+// BenchmarkE15_Recovery regenerates the live-recovery measurement: a real
+// controller and agents over loopback TCP, one agent partitioned away
+// mid-traffic by the fault injector, timing lease detection, re-placement
+// with warm HARQ state push, and reconnect after healing.
+func BenchmarkE15_Recovery(b *testing.B) {
+	report(b, experiments.E15Recovery)
+}

@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "local RRH emulation seed")
 	telemetryAddr := flag.String("telemetry", "", "HTTP address serving the telemetry snapshot (empty = off)")
 	noTelemetry := flag.Bool("no-telemetry", false, "disable runtime telemetry recording entirely")
+	noReconnect := flag.Bool("no-reconnect", false, "exit on a lost controller connection instead of reconnecting")
 	flag.Parse()
 
 	if *scale <= 0 {
@@ -46,8 +47,9 @@ func main() {
 			Policy: dataplane.EDF, DeadlineScale: *scale, AbandonLate: true,
 			DisableTelemetry: *noTelemetry,
 		},
-		Seed: *seed,
-		Logf: log.Printf,
+		Seed:        *seed,
+		NoReconnect: *noReconnect,
+		Logf:        log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

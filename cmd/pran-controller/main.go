@@ -27,6 +27,8 @@ func main() {
 	nCells := flag.Int("cells", 4, "number of cells to manage")
 	prb := flag.Int("prb", 6, "cell bandwidth in PRB")
 	predictive := flag.Bool("predictive", true, "predictive (vs reactive) scaling")
+	heartbeat := flag.Duration("heartbeat", 100*time.Millisecond, "agent heartbeat interval")
+	leaseMisses := flag.Int("lease-misses", 5, "missed heartbeats before an agent's lease expires and its cells fail over")
 	telemetryAddr := flag.String("telemetry", "", "HTTP address serving the merged cluster telemetry scrape (empty = off)")
 	scrapeEvery := flag.Duration("scrape-interval", 5*time.Second, "cadence for logging the merged cluster snapshot (0 = off)")
 	flag.Parse()
@@ -51,9 +53,11 @@ func main() {
 		log.Fatal(err)
 	}
 	cn, err := node.NewControllerNode(ln, node.ControllerConfig{
-		Controller: ctlCfg,
-		Cells:      cells,
-		Logf:       log.Printf,
+		Controller:        ctlCfg,
+		Cells:             cells,
+		HeartbeatInterval: *heartbeat,
+		LeaseMisses:       *leaseMisses,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +93,7 @@ func main() {
 			}
 		}()
 	}
-	log.Printf("pran-controller listening on %s, managing %d cells (%s)", cn.Addr(), *nCells, ctlCfg.Mode)
+	log.Printf("pran-controller listening on %s, managing %d cells (%s, lease %v)",
+		cn.Addr(), *nCells, ctlCfg.Mode, cn.LeaseBudget())
 	log.Fatal(cn.Serve())
 }

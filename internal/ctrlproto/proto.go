@@ -78,6 +78,10 @@ const (
 	TStatsRequest
 	// TStatsReport (agent→controller) answers with an encoded snapshot.
 	TStatsReport
+	// TCellOwned (agent→controller) declares the cells the agent currently
+	// runs, sent after (re)registration so the controller can reconcile its
+	// applied placement against reality after a reconnect.
+	TCellOwned
 )
 
 // String implements fmt.Stringer.
@@ -109,6 +113,8 @@ func (t MsgType) String() string {
 		return "stats-request"
 	case TStatsReport:
 		return "stats-report"
+	case TCellOwned:
+		return "cell-owned"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -529,6 +535,48 @@ func (m *StatsReport) UnmarshalBinary(src []byte) error {
 	return nil
 }
 
+// CellOwned declares the cells an agent currently runs. Sent right after
+// registration; on a fresh start the list is empty, after a reconnect it
+// lets the controller reconcile (the controller wins: cells placed elsewhere
+// in the meantime are removed from the agent, cells it should still run are
+// confirmed without a redundant reassignment).
+type CellOwned struct {
+	// ServerID identifies the reporting agent.
+	ServerID uint32
+	// Cells are the cell IDs the agent is currently serving.
+	Cells []uint16
+}
+
+// Type implements Message.
+func (*CellOwned) Type() MsgType { return TCellOwned }
+
+// MarshalBinary implements Message.
+func (m *CellOwned) MarshalBinary(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.ServerID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Cells)))
+	for _, c := range m.Cells {
+		dst = binary.BigEndian.AppendUint16(dst, c)
+	}
+	return dst
+}
+
+// UnmarshalBinary implements Message.
+func (m *CellOwned) UnmarshalBinary(src []byte) error {
+	if len(src) < 6 {
+		return fmt.Errorf("cell-owned payload %d bytes: %w", len(src), ErrBadMessage)
+	}
+	m.ServerID = binary.BigEndian.Uint32(src)
+	n := int(binary.BigEndian.Uint16(src[4:]))
+	if len(src) != 6+2*n {
+		return fmt.Errorf("cell-owned %d cells in %d bytes: %w", n, len(src), ErrBadMessage)
+	}
+	m.Cells = make([]uint16, n)
+	for i := 0; i < n; i++ {
+		m.Cells[i] = binary.BigEndian.Uint16(src[6+2*i:])
+	}
+	return nil
+}
+
 // newMessage returns an empty message value for a wire type.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
@@ -558,6 +606,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &StatsRequest{}, nil
 	case TStatsReport:
 		return &StatsReport{}, nil
+	case TCellOwned:
+		return &CellOwned{}, nil
 	default:
 		return nil, fmt.Errorf("unknown message type %d: %w", t, ErrBadMessage)
 	}

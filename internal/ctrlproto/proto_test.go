@@ -27,6 +27,8 @@ func TestMessageRoundtrips(t *testing.T) {
 		&StatsRequest{Seq: 9},
 		&StatsReport{Seq: 9, ServerID: 7, Data: []byte(`{"counters":[]}`)},
 		&StatsReport{Seq: 10, ServerID: 8, Data: nil},
+		&CellOwned{ServerID: 7, Cells: []uint16{4, 9, 1}},
+		&CellOwned{ServerID: 8, Cells: nil},
 	}
 	for _, m := range msgs {
 		payload := m.MarshalBinary(nil)
@@ -41,6 +43,9 @@ func TestMessageRoundtrips(t *testing.T) {
 		if ms, ok := fresh.(*MigrateState); ok && len(ms.State) == 0 {
 			ms.State = nil
 		}
+		if co, ok := fresh.(*CellOwned); ok && len(co.Cells) == 0 {
+			co.Cells = nil
+		}
 		if sr, ok := fresh.(*StatsReport); ok && len(sr.Data) == 0 {
 			sr.Data = nil
 		}
@@ -54,7 +59,7 @@ func TestMessageRejectsTruncation(t *testing.T) {
 	msgs := []Message{
 		&Register{}, &RegisterAck{}, &Heartbeat{}, &AssignCell{},
 		&RemoveCell{}, &MigrateState{}, &Drain{}, &Promote{}, &Ack{}, &ErrorMsg{},
-		&CellLoad{}, &StatsRequest{}, &StatsReport{},
+		&CellLoad{}, &StatsRequest{}, &StatsReport{}, &CellOwned{},
 	}
 	for _, m := range msgs {
 		full := m.MarshalBinary(nil)
@@ -108,7 +113,7 @@ func TestConnFraming(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for ty := TRegister; ty <= TStatsReport; ty++ {
+	for ty := TRegister; ty <= TCellOwned; ty++ {
 		if ty.String() == "" {
 			t.Fatalf("type %d has no name", ty)
 		}

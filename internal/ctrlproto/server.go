@@ -98,6 +98,12 @@ type Server struct {
 	HeartbeatInterval time.Duration
 	// RegisterTimeout bounds the wait for the initial Register.
 	RegisterTimeout time.Duration
+	// ReadMissBudget is the number of silent heartbeat intervals tolerated
+	// before a registered agent's read is abandoned and the connection
+	// dropped (default 10). Keep it above any application-level lease
+	// budget so lease expiry — not the socket timeout — is the failure
+	// detector of record.
+	ReadMissBudget int
 
 	mu     sync.Mutex
 	agents map[uint32]*Agent
@@ -112,6 +118,7 @@ func NewServer(ln net.Listener, h Handler) *Server {
 		handler:           h,
 		HeartbeatInterval: 100 * time.Millisecond,
 		RegisterTimeout:   5 * time.Second,
+		ReadMissBudget:    10,
 		agents:            make(map[uint32]*Agent),
 	}
 }
@@ -216,9 +223,13 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.dropAgent(agent, err)
 		return
 	}
-	// Heartbeats should arrive every interval; tolerate 10× before
-	// declaring the agent dead.
-	conn.ReadTimeout = 10 * s.HeartbeatInterval
+	// Heartbeats should arrive every interval; tolerate ReadMissBudget
+	// silent intervals before declaring the connection dead.
+	miss := s.ReadMissBudget
+	if miss <= 0 {
+		miss = 10
+	}
+	conn.ReadTimeout = time.Duration(miss) * s.HeartbeatInterval
 	for {
 		m, err := conn.ReadMessage()
 		if err != nil {
@@ -264,6 +275,13 @@ func DialAgent(addr string, serverID uint32, cores uint16, speedMilli uint32) (*
 	if err != nil {
 		return nil, err
 	}
+	return RegisterAgentConn(nc, serverID, cores, speedMilli)
+}
+
+// RegisterAgentConn registers over an already-established connection —
+// the injectable variant of DialAgent (reconnect loops and fault-injection
+// tests own the dial). On failure the connection is closed.
+func RegisterAgentConn(nc net.Conn, serverID uint32, cores uint16, speedMilli uint32) (*Client, error) {
 	conn := NewConn(nc)
 	reg := &Register{ProtoVersion: Version, ServerID: serverID, Cores: cores, SpeedMilli: speedMilli}
 	if err := conn.WriteMessage(reg); err != nil {
@@ -316,6 +334,12 @@ func (c *Client) SendError(seq uint32, code uint16, text string) error {
 // SendMigrateState ships serialized cell state to the controller.
 func (c *Client) SendMigrateState(cell uint16, state []byte) error {
 	return c.conn.WriteMessage(&MigrateState{Cell: cell, State: state})
+}
+
+// SendCellOwned declares the cells this agent currently runs (sent after
+// (re)registration so the controller can reconcile).
+func (c *Client) SendCellOwned(cells []uint16) error {
+	return c.conn.WriteMessage(&CellOwned{ServerID: c.serverID, Cells: cells})
 }
 
 // SendCellLoad reports one cell's compute demand.

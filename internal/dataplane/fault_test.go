@@ -1,0 +1,115 @@
+package dataplane
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pran/internal/faultinject"
+	"pran/internal/frame"
+	"pran/internal/phy"
+)
+
+// TestHARQSnapshotRestoreProperty is the randomized counterpart of
+// TestHARQSerializeRoundtrip: across many seeded shapes (process counts,
+// configurations, buffer contents) a snapshot → restore → snapshot cycle
+// must be bit-identical, and a retransmission Prepare on the restored
+// manager must hand back the migrated LLRs untouched — the property cell
+// failover depends on (restore resumes combining, it never resets).
+func TestHARQSnapshotRestoreProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHARQManager()
+		n := rng.Intn(7)
+		allocs := make([]frame.Allocation, 0, n)
+		bufs := make([][]byte, 0, n)
+		for p := 0; p < n; p++ {
+			a := frame.Allocation{
+				RNTI:        frame.RNTI(1 + p),
+				NumPRB:      1 + rng.Intn(10),
+				MCS:         phy.MCS(5 + rng.Intn(15)),
+				HARQProcess: uint8(p),
+				SNRdB:       10,
+			}
+			sb := h.Prepare(a, frame.TTI(rng.Intn(100)))
+			if sb == nil {
+				t.Fatalf("seed %d: no buffer for process %d", seed, p)
+			}
+			raw := make([]byte, sb.MarshalledSize())
+			rng.Read(raw)
+			if _, err := sb.Unmarshal(raw); err != nil {
+				t.Fatalf("seed %d: seed buffer: %v", seed, err)
+			}
+			allocs = append(allocs, a)
+			bufs = append(bufs, sb.MarshalAppend(nil))
+		}
+		blob, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		h2 := NewHARQManager()
+		if err := h2.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		blob2, err := h2.MarshalBinary()
+		if err != nil {
+			t.Fatalf("seed %d: re-marshal: %v", seed, err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("seed %d: restore not bit-identical (%d vs %d bytes)", seed, len(blob), len(blob2))
+		}
+		if h2.Processes() != h.Processes() || h2.StateBytes() != h.StateBytes() {
+			t.Fatalf("seed %d: accounting differs after restore", seed)
+		}
+		// A retransmission on the restored manager must combine with the
+		// migrated LLRs: Prepare at RV>0 returns the buffer unreset.
+		for i, a := range allocs {
+			a.RV = 2
+			sb := h2.Prepare(a, frame.TTI(1000+i))
+			if sb == nil {
+				t.Fatalf("seed %d: no buffer on retransmission for process %d", seed, i)
+			}
+			if !bytes.Equal(sb.MarshalAppend(nil), bufs[i]) {
+				t.Fatalf("seed %d: process %d LLRs changed across migration", seed, i)
+			}
+		}
+	}
+}
+
+// TestPoolFaultHookCrash wires faultinject.WorkerFault into the pool and
+// checks the crash schedule surfaces as failed tasks while untouched tasks
+// still decode.
+func TestPoolFaultHookCrash(t *testing.T) {
+	wf := faultinject.NewWorkerFault(11)
+	wf.CrashEvery = 2
+	pool := testPool(t, Config{
+		Workers: 1, Policy: EDF, DeadlineScale: 1000,
+		FaultHook: wf.Hook,
+	})
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 7,
+		Allocations: []frame.Allocation{
+			{RNTI: 100, FirstPRB: 0, NumPRB: 3, MCS: 8, SNRdB: phy.MCS(8).OperatingSNR() + 4},
+			{RNTI: 101, FirstPRB: 3, NumPRB: 3, MCS: 8, SNRdB: phy.MCS(8).OperatingSNR() + 4},
+		},
+	}
+	done := endToEnd(t, pool, work)
+	if len(done) != 2 {
+		t.Fatalf("completed %d tasks", len(done))
+	}
+	crashed, decoded := 0, 0
+	for _, tk := range done {
+		switch {
+		case errors.Is(tk.Err, faultinject.ErrWorkerCrash):
+			crashed++
+		case tk.Err == nil:
+			decoded++
+		default:
+			t.Fatalf("unexpected task error: %v", tk.Err)
+		}
+	}
+	if crashed != 1 || decoded != 1 {
+		t.Fatalf("crashed=%d decoded=%d, want 1/1 with CrashEvery=2", crashed, decoded)
+	}
+}

@@ -159,11 +159,17 @@ func (h *HARQManager) Reset() {
 // followed by, per process, its key (RNTI, process), configuration (MCS,
 // PRB), last TTI, and the soft buffer's LLRs. The format is
 // self-describing enough for UnmarshalBinary to rebuild buffers on the
-// destination server.
+// destination server. Processes whose buffer is attached to an in-flight
+// decode (busy) are skipped: a pool worker owns those LLRs right now, so
+// reading them would race, and a half-combined buffer is worthless to the
+// destination — the snapshot simply carries the processes at rest.
 func (h *HARQManager) MarshalBinary() ([]byte, error) {
 	// Deterministic order for testability.
 	keys := make([]harqStateKey, 0, len(h.states))
-	for k := range h.states {
+	for k, st := range h.states {
+		if st.busy.Load() {
+			continue
+		}
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {

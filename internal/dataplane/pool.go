@@ -88,6 +88,12 @@ type Config struct {
 	// DisableTelemetry turns off all runtime instrumentation for this
 	// pool (Pool.Telemetry then returns nil).
 	DisableTelemetry bool
+	// FaultHook, when non-nil, runs at the start of every task execution
+	// on the worker's goroutine — the fault-injection point (see
+	// internal/faultinject.WorkerFault). Returning an error fails the task
+	// as a simulated worker crash; sleeping inside emulates a stall. Nil
+	// (the default) costs nothing.
+	FaultHook func(worker int) error
 }
 
 // Validate checks the configuration.

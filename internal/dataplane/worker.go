@@ -86,6 +86,13 @@ func (w *worker) execute(t *Task) {
 		return
 	}
 	t.Started = now
+	if hook := w.pool.cfg.FaultHook; hook != nil {
+		if err := hook(w.id); err != nil {
+			t.Err = err
+			t.Finished = time.Now()
+			return
+		}
+	}
 	if t.runInstead != nil {
 		t.runInstead(w, t)
 		t.Finished = time.Now()

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pran/internal/cluster"
@@ -34,8 +36,18 @@ type AgentConfig struct {
 	// scaled subframe duration (DeadlineScale × 1 ms) so load ratios match
 	// the deadline scale.
 	TTIInterval time.Duration
-	// Seed drives the agent's local traffic emulation.
+	// Seed drives the agent's local traffic emulation (and reconnect
+	// jitter).
 	Seed int64
+	// Dial overrides the transport dialer — the fault-injection and test
+	// hook; nil means net.Dial.
+	Dial func(network, addr string) (net.Conn, error)
+	// NoReconnect makes Run return when the controller connection ends
+	// instead of retrying (the pre-lease behavior).
+	NoReconnect bool
+	// ReconnectMin and ReconnectMax bound the jittered exponential backoff
+	// between reconnect attempts (defaults 50 ms and 2 s).
+	ReconnectMin, ReconnectMax time.Duration
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -61,20 +73,44 @@ func cellDemandMetric(id frame.CellID) string {
 // AgentNode is one pool server: it registers with the controller, runs the
 // measured data plane for whatever cells it is assigned (emulating their
 // RRH input locally), and streams heartbeats plus per-cell load reports.
+// A broken controller connection is survivable: the TTI loop keeps serving
+// assigned cells headless while a reconnect loop re-registers with jittered
+// exponential backoff.
 type AgentNode struct {
-	cfg    AgentConfig
-	client *ctrlproto.Client
-	pool   *dataplane.Pool
-	model  cluster.CostModel
-	logf   func(format string, args ...any)
+	cfg   AgentConfig
+	pool  *dataplane.Pool
+	model cluster.CostModel
+	logf  func(format string, args ...any)
+	dial  func(network, addr string) (net.Conn, error)
+
+	// connMu guards the current client; the connection is replaced by the
+	// reconnect loop while the TTI and report loops keep running.
+	connMu    sync.Mutex
+	client    *ctrlproto.Client
+	connected atomic.Bool
 
 	mu           sync.Mutex
 	cells        map[frame.CellID]*cellRuntime
 	pendingState map[frame.CellID][]byte // migrated state arriving pre-assignment
 	tti          frame.TTI
 
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	// Resilience telemetry (nil when the pool runs telemetry-disabled).
+	reconnects    *telemetry.Counter
+	headlessTTIs  *telemetry.Counter
+	stateRestored *telemetry.Counter
+	stateShipped  *telemetry.Counter
+
+	closeOnce sync.Once
+	closeCh   chan struct{} // closed by Close; aborts reconnect backoff
+	stopCh    chan struct{} // closed by Run on exit; stops the loops
+	wg        sync.WaitGroup
+}
+
+// inc bumps a counter that may be nil (telemetry disabled).
+func inc(c *telemetry.Counter, n uint64) {
+	if c != nil {
+		c.Add(0, n)
+	}
 }
 
 // NewAgentNode dials the controller and registers. Call Run to start the
@@ -89,6 +125,15 @@ func NewAgentNode(cfg AgentConfig) (*AgentNode, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.Dial
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 50 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 2 * time.Second
+	}
 	cfg.Pool.Workers = cfg.Cores
 	if cfg.Pool.DeadlineScale <= 0 {
 		cfg.Pool.DeadlineScale = 1
@@ -96,7 +141,11 @@ func NewAgentNode(cfg AgentConfig) (*AgentNode, error) {
 	if cfg.TTIInterval <= 0 {
 		cfg.TTIInterval = time.Duration(float64(time.Millisecond) * cfg.Pool.DeadlineScale)
 	}
-	client, err := ctrlproto.DialAgent(cfg.ControllerAddr, cfg.ServerID, uint16(cfg.Cores), cfg.SpeedMilli)
+	nc, err := cfg.Dial("tcp", cfg.ControllerAddr)
+	if err != nil {
+		return nil, err
+	}
+	client, err := ctrlproto.RegisterAgentConn(nc, cfg.ServerID, uint16(cfg.Cores), cfg.SpeedMilli)
 	if err != nil {
 		return nil, err
 	}
@@ -105,15 +154,42 @@ func NewAgentNode(cfg AgentConfig) (*AgentNode, error) {
 		_ = client.Close()
 		return nil, err
 	}
-	return &AgentNode{
-		cfg:    cfg,
-		client: client,
-		pool:   pool,
-		model:  cluster.DefaultCostModel(),
-		logf:   cfg.Logf,
-		cells:  make(map[frame.CellID]*cellRuntime),
-		stopCh: make(chan struct{}),
-	}, nil
+	a := &AgentNode{
+		cfg:     cfg,
+		client:  client,
+		pool:    pool,
+		model:   cluster.DefaultCostModel(),
+		logf:    cfg.Logf,
+		dial:    cfg.Dial,
+		cells:   make(map[frame.CellID]*cellRuntime),
+		closeCh: make(chan struct{}),
+		stopCh:  make(chan struct{}),
+	}
+	a.connected.Store(true)
+	if reg := pool.Telemetry(); reg != nil {
+		a.reconnects = reg.Counter("agent.reconnects")
+		a.headlessTTIs = reg.Counter("agent.headless_ttis")
+		a.stateRestored = reg.Counter("agent.state_restored_bytes")
+		a.stateShipped = reg.Counter("agent.state_shipped_bytes")
+	}
+	return a, nil
+}
+
+// cli returns the current controller client.
+func (a *AgentNode) cli() *ctrlproto.Client {
+	a.connMu.Lock()
+	defer a.connMu.Unlock()
+	return a.client
+}
+
+// isClosing reports whether Close has been called.
+func (a *AgentNode) isClosing() bool {
+	select {
+	case <-a.closeCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // Pool exposes the local data plane.
@@ -146,31 +222,108 @@ func (a *AgentNode) NumCells() int {
 	return len(a.cells)
 }
 
-// Run starts the command, TTI, and reporting loops; it returns when the
-// controller connection ends or Close is called.
+// Run starts the command, TTI, and reporting loops; it returns when Close
+// is called, or — with NoReconnect — when the controller connection ends.
+// Otherwise a broken connection sends Run into the reconnect loop while the
+// TTI loop keeps serving cells headless.
 func (a *AgentNode) Run() error {
 	a.wg.Add(2)
 	go a.ttiLoop()
 	go a.reportLoop()
-	err := a.commandLoop()
+	var err error
+	for {
+		err = a.commandLoop()
+		a.connected.Store(false)
+		if a.isClosing() || a.cfg.NoReconnect {
+			break
+		}
+		a.logf("agent %d: controller connection lost (%v); reconnecting", a.cfg.ServerID, err)
+		if rerr := a.reconnect(); rerr != nil {
+			err = rerr
+			break
+		}
+	}
 	close(a.stopCh)
 	a.wg.Wait()
-	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+	if a.isClosing() || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 		return nil
 	}
 	return err
 }
 
+// reconnect re-establishes the controller session with jittered exponential
+// backoff, re-registers, and declares the cells this agent still runs so the
+// controller can reconcile. It returns net.ErrClosed if Close interrupts.
+func (a *AgentNode) reconnect() error {
+	rng := rand.New(rand.NewSource(a.cfg.Seed + int64(a.cfg.ServerID)))
+	backoff := a.cfg.ReconnectMin
+	for attempt := 1; ; attempt++ {
+		// Full jitter: sleep uniformly in [backoff/2, backoff).
+		d := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+		select {
+		case <-a.closeCh:
+			return net.ErrClosed
+		case <-time.After(d):
+		}
+		nc, err := a.dial("tcp", a.cfg.ControllerAddr)
+		if err == nil {
+			var client *ctrlproto.Client
+			client, err = ctrlproto.RegisterAgentConn(nc, a.cfg.ServerID, uint16(a.cfg.Cores), a.cfg.SpeedMilli)
+			if err == nil {
+				a.connMu.Lock()
+				if a.isClosing() {
+					a.connMu.Unlock()
+					_ = client.Close()
+					return net.ErrClosed
+				}
+				a.client = client
+				a.connMu.Unlock()
+				a.connected.Store(true)
+				inc(a.reconnects, 1)
+				if err := client.SendCellOwned(a.ownedCells()); err != nil {
+					a.logf("agent %d: declare owned cells: %v", a.cfg.ServerID, err)
+				}
+				a.logf("agent %d: reconnected after %d attempts", a.cfg.ServerID, attempt)
+				return nil
+			}
+		}
+		a.logf("agent %d: reconnect attempt %d: %v", a.cfg.ServerID, attempt, err)
+		if backoff *= 2; backoff > a.cfg.ReconnectMax {
+			backoff = a.cfg.ReconnectMax
+		}
+	}
+}
+
+// ownedCells lists the cells this agent currently runs.
+func (a *AgentNode) ownedCells() []uint16 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]uint16, 0, len(a.cells))
+	for id := range a.cells {
+		out = append(out, uint16(id))
+	}
+	return out
+}
+
 // Close tears the agent down.
 func (a *AgentNode) Close() error {
-	_ = a.client.Close()
+	a.closeOnce.Do(func() { close(a.closeCh) })
+	_ = a.cli().Close()
 	return a.pool.Close()
+}
+
+// cmdError counts a failed controller command by type.
+func (a *AgentNode) cmdError(kind string) {
+	if reg := a.pool.Telemetry(); reg != nil {
+		reg.Counter("agent.command_errors." + kind).Inc(0)
+	}
 }
 
 // commandLoop processes controller commands until the connection drops.
 func (a *AgentNode) commandLoop() error {
+	c := a.cli()
 	for {
-		m, err := a.client.Receive()
+		m, err := c.Receive()
 		if err != nil {
 			return err
 		}
@@ -178,35 +331,43 @@ func (a *AgentNode) commandLoop() error {
 		case *ctrlproto.AssignCell:
 			if err := a.assignCell(t); err != nil {
 				a.logf("agent %d: assign cell %d: %v", a.cfg.ServerID, t.Cell, err)
-				_ = a.client.SendError(t.Seq, 1, err.Error())
+				a.cmdError("assign_cell")
+				_ = c.SendError(t.Seq, 1, err.Error())
 				continue
 			}
 			a.logf("agent %d: assigned cell %d", a.cfg.ServerID, t.Cell)
-			_ = a.client.Ack(t.Seq)
+			_ = c.Ack(t.Seq)
 		case *ctrlproto.RemoveCell:
 			// Ship the cell's HARQ state to the controller before
 			// releasing it, so the destination server can resume
 			// in-flight retransmissions (PRAN's migration path).
 			if state := a.snapshotCellState(frame.CellID(t.Cell)); state != nil {
-				_ = a.client.SendMigrateState(t.Cell, state)
+				if err := c.SendMigrateState(t.Cell, state); err != nil {
+					a.cmdError("remove_cell")
+				} else {
+					inc(a.stateShipped, uint64(len(state)))
+				}
 			}
 			a.removeCell(frame.CellID(t.Cell))
 			a.logf("agent %d: removed cell %d", a.cfg.ServerID, t.Cell)
-			_ = a.client.Ack(t.Seq)
+			_ = c.Ack(t.Seq)
 		case *ctrlproto.MigrateState:
 			if err := a.restoreCellState(frame.CellID(t.Cell), t.State); err != nil {
 				a.logf("agent %d: restore cell %d state: %v", a.cfg.ServerID, t.Cell, err)
-				_ = a.client.SendError(t.Seq, 2, err.Error())
+				a.cmdError("migrate_state")
+				_ = c.SendError(t.Seq, 2, err.Error())
 				continue
 			}
 			a.logf("agent %d: restored %d bytes of cell %d state", a.cfg.ServerID, len(t.State), t.Cell)
-			_ = a.client.Ack(t.Seq)
+			_ = c.Ack(t.Seq)
 		case *ctrlproto.Drain:
-			_ = a.client.Ack(t.Seq)
+			_ = c.Ack(t.Seq)
 		case *ctrlproto.Promote:
-			_ = a.client.Ack(t.Seq)
+			_ = c.Ack(t.Seq)
 		case *ctrlproto.StatsRequest:
-			_ = a.client.SendStatsReport(t.Seq, a.encodeTelemetry())
+			if err := c.SendStatsReport(t.Seq, a.encodeTelemetry()); err != nil {
+				a.cmdError("stats_request")
+			}
 		}
 	}
 }
@@ -247,6 +408,8 @@ func (a *AgentNode) assignCell(cmd *ctrlproto.AssignCell) error {
 		delete(a.pendingState, cellCfg.ID)
 		if err := proc.HARQ().UnmarshalBinary(state); err != nil {
 			a.logf("agent %d: apply parked state for cell %d: %v", a.cfg.ServerID, cellCfg.ID, err)
+		} else {
+			inc(a.stateRestored, uint64(len(state)))
 		}
 	}
 	a.mu.Unlock()
@@ -292,7 +455,11 @@ func (a *AgentNode) restoreCellState(id frame.CellID, state []byte) error {
 		a.pendingState[id] = append([]byte(nil), state...)
 		return nil
 	}
-	return rt.proc.HARQ().UnmarshalBinary(state)
+	if err := rt.proc.HARQ().UnmarshalBinary(state); err != nil {
+		return err
+	}
+	inc(a.stateRestored, uint64(len(state)))
+	return nil
 }
 
 // ttiLoop paces subframes: each tick, every assigned cell generates its
@@ -310,6 +477,9 @@ func (a *AgentNode) ttiLoop() {
 		a.mu.Lock()
 		tti := a.tti
 		a.tti++
+		if !a.connected.Load() && len(a.cells) > 0 {
+			inc(a.headlessTTIs, 1) // still serving, controller unreachable
+		}
 		for _, rt := range a.cells {
 			work, err := rt.gen.Subframe(0, tti)
 			if err != nil {
@@ -338,22 +508,33 @@ func (a *AgentNode) ttiLoop() {
 	}
 }
 
+// warmSnapshotEvery is how many report intervals pass between HARQ snapshot
+// shipments to the controller's warm-state cache (≈ every 500 ms at the
+// default 100 ms heartbeat).
+const warmSnapshotEvery = 5
+
 // reportLoop streams heartbeats and per-cell loads at the controller's
-// requested interval.
+// requested interval, and periodically ships each cell's HARQ snapshot so
+// the controller holds warm state for failover. Send failures don't stop
+// the loop: the agent keeps reporting into the current connection, which
+// the reconnect loop replaces.
 func (a *AgentNode) reportLoop() {
 	defer a.wg.Done()
-	interval := a.client.Interval
+	interval := a.cli().Interval
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	tick := 0
 	for {
 		select {
 		case <-a.stopCh:
 			return
 		case <-ticker.C:
 		}
+		tick++
+		c := a.cli()
 		st := a.pool.Stats()
 		a.mu.Lock()
 		tti := uint64(a.tti)
@@ -375,12 +556,21 @@ func (a *AgentNode) reportLoop() {
 			Misses:         st.DeadlineMisses,
 			Completed:      st.Completed,
 		}
-		if err := a.client.Heartbeat(hb); err != nil {
-			return
+		if err := c.Heartbeat(hb); err != nil {
+			continue // headless: skip the rest of this report
 		}
 		for _, r := range reps {
-			if err := a.client.SendCellLoad(uint16(r.cell), uint32(r.d*1000), tti); err != nil {
-				return
+			if err := c.SendCellLoad(uint16(r.cell), uint32(r.d*1000), tti); err != nil {
+				break
+			}
+		}
+		if tick%warmSnapshotEvery == 0 {
+			for _, r := range reps {
+				if state := a.snapshotCellState(r.cell); state != nil {
+					if err := c.SendMigrateState(uint16(r.cell), state); err == nil {
+						inc(a.stateShipped, uint64(len(state)))
+					}
+				}
 			}
 		}
 	}

@@ -42,20 +42,40 @@ type CellSpecNet struct {
 
 // ControllerNode is the networked control plane: a ctrlproto server whose
 // registered agents form the controller's cluster, plus a periodic control
-// loop that scales, places, and pushes cell assignments.
+// loop that scales, places, pushes cell assignments, and sweeps heartbeat
+// leases to detect dead agents.
 type ControllerNode struct {
-	srv    *ctrlproto.Server
-	ctl    *controller.Controller
-	cells  map[frame.CellID]CellSpecNet
-	logf   func(format string, args ...any)
-	period time.Duration
-	reg    *telemetry.Registry
+	srv         *ctrlproto.Server
+	ctl         *controller.Controller
+	cells       map[frame.CellID]CellSpecNet
+	logf        func(format string, args ...any)
+	period      time.Duration
+	reg         *telemetry.Registry
+	leaseBudget time.Duration
 
 	mu      sync.Mutex
 	applied controller.Placement // what agents have been told
+	// warm caches the freshest HARQ snapshot per cell (shipped by agents
+	// with their load reports) so a failover can re-place a cell together
+	// with its soft-combining state even though its host is gone.
+	warm    map[frame.CellID][]byte
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 	started bool
+
+	// liveMu guards the heartbeat leases. It is separate from mu because
+	// heartbeats arrive on per-agent reader goroutines at high rate and
+	// must never wait behind a control round pushing assignments.
+	liveMu   sync.Mutex
+	lastSeen map[uint32]time.Time
+	hbAge    map[uint32]*telemetry.Gauge
+
+	// Fault-tolerance telemetry, resolved once at construction.
+	leaseExpiries   *telemetry.Counter
+	registrations   *telemetry.Counter
+	cellsFailedOver *telemetry.Counter
+	statePushed     *telemetry.Counter
+	warmBytes       *telemetry.Gauge
 
 	// statsMu guards the scrape correlation map: agent ID → the channel
 	// awaiting that agent's StatsReport. Kept separate from mu because
@@ -72,6 +92,14 @@ type ControllerConfig struct {
 	Cells []CellSpecNet
 	// Period is the control-loop cadence (default 500 ms).
 	Period time.Duration
+	// HeartbeatInterval is the reporting cadence requested from agents
+	// (default 100 ms).
+	HeartbeatInterval time.Duration
+	// LeaseMisses is how many silent heartbeat intervals the lease sweep
+	// tolerates before declaring an agent dead and re-placing its cells
+	// (default 5). The protocol-level socket timeout is kept at twice this
+	// budget so the lease — not the socket — is the failure detector.
+	LeaseMisses int
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...any)
 	// Telemetry selects the controller's local registry (cluster state
@@ -87,6 +115,12 @@ func NewControllerNode(ln net.Listener, cfg ControllerConfig) (*ControllerNode, 
 	}
 	if cfg.Period <= 0 {
 		cfg.Period = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if cfg.LeaseMisses <= 0 {
+		cfg.LeaseMisses = 5
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -106,15 +140,29 @@ func NewControllerNode(ln net.Listener, cfg ControllerConfig) (*ControllerNode, 
 		logf:         cfg.Logf,
 		period:       cfg.Period,
 		reg:          reg,
+		leaseBudget:  time.Duration(cfg.LeaseMisses) * cfg.HeartbeatInterval,
 		applied:      make(controller.Placement),
+		warm:         make(map[frame.CellID][]byte),
 		stopCh:       make(chan struct{}),
 		doneCh:       make(chan struct{}),
+		lastSeen:     make(map[uint32]time.Time),
+		hbAge:        make(map[uint32]*telemetry.Gauge),
 		statsPending: make(map[uint32]chan []byte),
+
+		leaseExpiries:   reg.Counter("controller.lease_expiries"),
+		registrations:   reg.Counter("controller.registrations"),
+		cellsFailedOver: reg.Counter("controller.cells_failed_over"),
+		statePushed:     reg.Counter("controller.state_pushed_bytes"),
+		warmBytes:       reg.Gauge("controller.warm_state_bytes"),
 	}
 	for _, c := range cfg.Cells {
 		n.cells[c.ID] = c
 	}
 	n.srv = ctrlproto.NewServer(ln, (*ctrlHandler)(n))
+	n.srv.HeartbeatInterval = cfg.HeartbeatInterval
+	// Keep the socket timeout well past the lease budget so the sweep, not
+	// the read deadline, is the failure detector of record.
+	n.srv.ReadMissBudget = 2 * cfg.LeaseMisses
 	return n, nil
 }
 
@@ -122,7 +170,10 @@ func NewControllerNode(ln net.Listener, cfg ControllerConfig) (*ControllerNode, 
 // Handler methods don't pollute ControllerNode's public API).
 type ctrlHandler ControllerNode
 
-// OnRegister adds the server to the cluster as standby capacity.
+// OnRegister adds the server to the cluster as standby capacity. A known
+// server re-registering (agent reconnect) keeps its current state — except a
+// Failed one, which is repaired back to Standby — so a transient partition
+// does not demote an Active server that kept its cells running headless.
 func (h *ctrlHandler) OnRegister(a *ctrlproto.Agent, reg *ctrlproto.Register) error {
 	n := (*ControllerNode)(h)
 	srv := cluster.Server{
@@ -132,23 +183,88 @@ func (h *ctrlHandler) OnRegister(a *ctrlproto.Agent, reg *ctrlproto.Register) er
 		State:       cluster.Standby,
 	}
 	if err := n.ctl.Cluster().Add(srv); err != nil {
-		// Reconnection of a known server: reset it to standby capacity.
-		if err2 := n.ctl.Cluster().SetState(srv.ID, cluster.Standby); err2 != nil {
+		got, gerr := n.ctl.Cluster().Get(srv.ID)
+		if gerr != nil {
 			return err
 		}
+		if got.State == cluster.Failed {
+			if err2 := n.ctl.Cluster().SetState(srv.ID, cluster.Standby); err2 != nil {
+				return err
+			}
+			n.logf("controller: server %d repaired on re-register", reg.ServerID)
+		}
 	}
+	n.touchLease(reg.ServerID)
+	n.registrations.Inc(0)
 	n.logf("controller: server %d registered (%d cores)", reg.ServerID, reg.Cores)
 	return nil
 }
 
-// OnHeartbeat currently only logs liveness; per-cell load arrives via
+// OnHeartbeat renews the agent's liveness lease; per-cell load arrives via
 // CellLoad messages.
-func (h *ctrlHandler) OnHeartbeat(a *ctrlproto.Agent, hb *ctrlproto.Heartbeat) {}
+func (h *ctrlHandler) OnHeartbeat(a *ctrlproto.Agent, hb *ctrlproto.Heartbeat) {
+	(*ControllerNode)(h).touchLease(a.ID)
+}
+
+// touchLease records a proof of life for the agent.
+func (n *ControllerNode) touchLease(id uint32) {
+	n.liveMu.Lock()
+	n.lastSeen[id] = time.Now()
+	if _, ok := n.hbAge[id]; !ok {
+		n.hbAge[id] = n.reg.Gauge(fmt.Sprintf("controller.agent.%d.heartbeat_age_ms", id))
+	}
+	n.hbAge[id].Set(0)
+	n.liveMu.Unlock()
+}
+
+// sweepLeases declares agents whose lease lapsed dead: their connection is
+// closed, the cluster marks them Failed, and their cells are re-placed with
+// warm HARQ state. Runs on the control loop goroutine.
+func (n *ControllerNode) sweepLeases() {
+	now := time.Now()
+	n.liveMu.Lock()
+	var expired []uint32
+	for id, last := range n.lastSeen {
+		age := now.Sub(last)
+		n.hbAge[id].Set(age.Milliseconds())
+		if age > n.leaseBudget {
+			expired = append(expired, id)
+			delete(n.lastSeen, id)
+		}
+	}
+	n.liveMu.Unlock()
+	for _, id := range expired {
+		n.leaseExpiries.Inc(0)
+		n.logf("controller: server %d lease expired (budget %v)", id, n.leaseBudget)
+		if agent, up := n.srv.Agent(id); up {
+			_ = agent.Close() // reader goroutine sees the close; OnDisconnect only logs
+		}
+		n.failover(cluster.ServerID(id))
+	}
+}
+
+// failover marks the server failed, re-places its cells, and pushes the new
+// placement. Must be called without n.mu held.
+func (n *ControllerNode) failover(id cluster.ServerID) {
+	n.mu.Lock()
+	rep, err := n.ctl.OnServerFailure(id)
+	n.mu.Unlock()
+	if err != nil {
+		return // unknown or already failed
+	}
+	n.cellsFailedOver.Add(0, uint64(len(rep.LostCells)))
+	n.logf("controller: failover moved %d cells (%d promotions)", len(rep.LostCells), rep.Promotions)
+	n.pushPlacement()
+}
 
 // OnMessage feeds cell-load reports into the controller's monitor and
-// relays migration state from a cell's old server to its new one.
+// relays migration state from a cell's old server to its new one. Every
+// message renews the sender's lease: a large state transfer can delay
+// heartbeats behind it on the shared stream (head-of-line blocking), and
+// any inbound message is equally strong proof of life.
 func (h *ctrlHandler) OnMessage(a *ctrlproto.Agent, m ctrlproto.Message) {
 	n := (*ControllerNode)(h)
+	n.touchLease(a.ID)
 	switch t := m.(type) {
 	case *ctrlproto.CellLoad:
 		n.ctl.ObserveCell(frame.CellID(t.Cell), float64(t.MilliCores)/1000)
@@ -163,7 +279,11 @@ func (h *ctrlHandler) OnMessage(a *ctrlproto.Agent, m ctrlproto.Message) {
 			ch <- t.Data // buffered; never blocks the reader goroutine
 		}
 	case *ctrlproto.MigrateState:
+		// Always refresh the warm cache: this is the freshest snapshot of
+		// the cell's HARQ state and seeds future failovers.
 		n.mu.Lock()
+		n.warm[frame.CellID(t.Cell)] = append([]byte(nil), t.State...)
+		n.setWarmBytesLocked()
 		dst, ok := n.ctl.Placement()[frame.CellID(t.Cell)]
 		n.mu.Unlock()
 		if !ok {
@@ -173,22 +293,69 @@ func (h *ctrlHandler) OnMessage(a *ctrlproto.Agent, m ctrlproto.Message) {
 			if _, err := agent.MigrateState(t.Cell, t.State); err != nil {
 				n.logf("controller: relay state for cell %d to %d: %v", t.Cell, dst, err)
 			} else {
+				n.statePushed.Add(0, uint64(len(t.State)))
 				n.logf("controller: relayed %d bytes of cell %d state %d→%d", len(t.State), t.Cell, a.ID, dst)
 			}
 		}
+	case *ctrlproto.CellOwned:
+		n.reconcileOwned(a, t)
 	}
 }
 
-// OnDisconnect treats a vanished agent as a server failure.
+// reconcileOwned aligns the controller's view with the cell list a
+// reconnecting agent claims to run. The controller wins: cells the agent
+// owns that are placed elsewhere are removed from it (the agent ships their
+// state back, which relays to the current owner); applied entries the agent
+// no longer backs are dropped so the next push re-assigns them.
+func (n *ControllerNode) reconcileOwned(a *ctrlproto.Agent, co *ctrlproto.CellOwned) {
+	srvID := cluster.ServerID(co.ServerID)
+	owned := make(map[frame.CellID]bool, len(co.Cells))
+	for _, c := range co.Cells {
+		owned[frame.CellID(c)] = true
+	}
+	var stale []frame.CellID
+	n.mu.Lock()
+	for cell, s := range n.applied {
+		if s == srvID && !owned[cell] {
+			delete(n.applied, cell) // stale: agent lost it (e.g. restart)
+		}
+	}
+	want := n.ctl.Placement()
+	for cell := range owned {
+		if dst, ok := want[cell]; ok && dst == srvID {
+			n.applied[cell] = srvID // confirmed; no redundant re-assign
+			continue
+		}
+		// Placed elsewhere (or unmanaged) while the agent was away.
+		stale = append(stale, cell)
+	}
+	n.mu.Unlock()
+	// Command writes happen outside n.mu (see pushPlacement).
+	for _, cell := range stale {
+		if _, err := a.RemoveCell(uint16(cell)); err != nil {
+			n.logf("controller: reconcile remove cell %d from %d: %v", cell, co.ServerID, err)
+		} else {
+			n.logf("controller: reconcile: cell %d no longer on %d, removing", cell, co.ServerID)
+		}
+	}
+	n.logf("controller: reconciled server %d (%d cells owned)", co.ServerID, len(co.Cells))
+}
+
+// setWarmBytesLocked refreshes the warm-cache size gauge. Callers hold n.mu.
+func (n *ControllerNode) setWarmBytesLocked() {
+	total := 0
+	for _, s := range n.warm {
+		total += len(s)
+	}
+	n.warmBytes.Set(int64(total))
+}
+
+// OnDisconnect only logs: a broken connection is no longer treated as a
+// server failure. The lease sweep is the single failure detector, which
+// gives agents a reconnect window before their cells are re-placed.
 func (h *ctrlHandler) OnDisconnect(a *ctrlproto.Agent, err error) {
 	n := (*ControllerNode)(h)
-	n.logf("controller: server %d disconnected: %v", a.ID, err)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if rep, ferr := n.ctl.OnServerFailure(cluster.ServerID(a.ID)); ferr == nil {
-		n.logf("controller: failover moved %d cells (%d promotions)", len(rep.LostCells), rep.Promotions)
-		n.pushPlacementLocked()
-	}
+	n.logf("controller: server %d disconnected (lease pending): %v", a.ID, err)
 }
 
 // Serve runs the protocol listener and the control loop until Close.
@@ -229,33 +396,51 @@ func (n *ControllerNode) controlLoop() {
 			return
 		case <-ticker.C:
 		}
+		n.sweepLeases()
 		n.mu.Lock()
 		rep, err := n.ctl.Step()
+		n.mu.Unlock()
 		if err != nil {
 			n.logf("controller: step failed: %v", err)
-			n.mu.Unlock()
 			continue
 		}
 		if rep.Migrations > 0 || rep.Promotions > 0 || len(rep.Dropped) > 0 {
 			n.logf("controller: demand=%.2f forecast=%.2f active=%d migrations=%d dropped=%d",
 				rep.Demand, rep.Forecast, rep.Active, rep.Migrations, len(rep.Dropped))
 		}
-		n.pushPlacementLocked()
-		n.mu.Unlock()
+		n.pushPlacement()
 	}
 }
 
-// pushPlacementLocked diffs the controller's placement against what agents
-// have been told and sends remove/assign commands. Callers hold n.mu.
-func (n *ControllerNode) pushPlacementLocked() {
+// pushPlacement diffs the controller's placement against what agents have
+// been told and sends remove/assign commands. It must run WITHOUT n.mu
+// held: command writes can block on a slow or backpressured agent socket,
+// and holding the node lock across that IO deadlocks the per-agent reader
+// goroutines (which take n.mu to record inbound state) against agents that
+// are mid-write to us. The diff is computed and n.applied updated
+// optimistically under the lock; a failed assign rolls its entry back.
+func (n *ControllerNode) pushPlacement() {
+	type removeOp struct {
+		agent *ctrlproto.Agent
+		cell  frame.CellID
+		srv   cluster.ServerID
+	}
+	type assignOp struct {
+		agent *ctrlproto.Agent
+		cell  frame.CellID
+		srv   cluster.ServerID
+		spec  CellSpecNet
+		warm  []byte
+	}
+	var removes []removeOp
+	var assigns []assignOp
+	n.mu.Lock()
 	want := n.ctl.Placement()
 	// Removals first (cells that moved or vanished).
 	for cell, oldSrv := range n.applied {
 		if newSrv, ok := want[cell]; !ok || newSrv != oldSrv {
 			if agent, up := n.srv.Agent(uint32(oldSrv)); up {
-				if _, err := agent.RemoveCell(uint16(cell)); err != nil {
-					n.logf("controller: remove cell %d from %d: %v", cell, oldSrv, err)
-				}
+				removes = append(removes, removeOp{agent, cell, oldSrv})
 			}
 			delete(n.applied, cell)
 		}
@@ -273,16 +458,47 @@ func (n *ControllerNode) pushPlacementLocked() {
 		if !up {
 			continue
 		}
-		if _, err := agent.AssignCell(uint16(cell), spec.PCI, uint16(spec.Bandwidth.PRB()), uint8(spec.Antennas)); err != nil {
-			n.logf("controller: assign cell %d to %d: %v", cell, srv, err)
+		// Warm snapshots are replaced wholesale on arrival, never mutated
+		// in place, so the slice is safe to read after unlocking.
+		assigns = append(assigns, assignOp{agent, cell, srv, spec, n.warm[cell]})
+		n.applied[cell] = srv
+	}
+	n.mu.Unlock()
+	for _, op := range removes {
+		if _, err := op.agent.RemoveCell(uint16(op.cell)); err != nil {
+			n.logf("controller: remove cell %d from %d: %v", op.cell, op.srv, err)
+		}
+	}
+	for _, op := range assigns {
+		if _, err := op.agent.AssignCell(uint16(op.cell), op.spec.PCI, uint16(op.spec.Bandwidth.PRB()), uint8(op.spec.Antennas)); err != nil {
+			n.logf("controller: assign cell %d to %d: %v", op.cell, op.srv, err)
+			n.mu.Lock()
+			if n.applied[op.cell] == op.srv {
+				delete(n.applied, op.cell)
+			}
+			n.mu.Unlock()
 			continue
 		}
-		n.applied[cell] = srv
+		// Ship the warm HARQ snapshot so soft combining resumes where the
+		// old host left off. A fresher snapshot relayed directly from the
+		// old host (if it is still up) supersedes this one on arrival.
+		if len(op.warm) > 0 {
+			if _, err := op.agent.MigrateState(uint16(op.cell), op.warm); err != nil {
+				n.logf("controller: push warm state for cell %d to %d: %v", op.cell, op.srv, err)
+			} else {
+				n.statePushed.Add(0, uint64(len(op.warm)))
+				n.logf("controller: pushed %d bytes of warm cell %d state to %d", len(op.warm), op.cell, op.srv)
+			}
+		}
 	}
 }
 
 // Telemetry returns the controller's local registry.
 func (n *ControllerNode) Telemetry() *telemetry.Registry { return n.reg }
+
+// LeaseBudget returns how long an agent may stay silent before the sweep
+// declares it dead.
+func (n *ControllerNode) LeaseBudget() time.Duration { return n.leaseBudget }
 
 // ScrapeTelemetry asks every connected agent for its telemetry snapshot and
 // returns the cluster-wide merge (agent pool/cell metrics summed by name,
