@@ -125,3 +125,12 @@ func BenchmarkE14_TelemetryOverhead(b *testing.B) {
 func BenchmarkE15_Recovery(b *testing.B) {
 	report(b, experiments.E15Recovery)
 }
+
+// BenchmarkE16_Scale regenerates the city-scale control-plane measurement:
+// hundreds of cells across dozens of stub agents on one controller, timing
+// cold-start placement fan-out, per-push dissemination latency through the
+// coalescing streams, incremental-vs-full placement rounds under demand
+// churn, and the concurrent telemetry scrape fan-in.
+func BenchmarkE16_Scale(b *testing.B) {
+	report(b, experiments.E16Scale)
+}

@@ -1,5 +1,5 @@
 // Command pran-bench regenerates the PRAN evaluation: every reconstructed
-// table and figure (E1–E15, indexed in DESIGN.md §4) as printable tables.
+// table and figure (E1–E16, indexed in DESIGN.md §4) as printable tables.
 //
 // Usage:
 //
@@ -34,7 +34,7 @@ func main() {
 
 func run() int {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
-	runID := flag.String("run", "", "run a single experiment by ID (E1..E15)")
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E16)")
 	dumpTelemetry := flag.Bool("telemetry", false, "print the process-default telemetry snapshot after the run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonDir := flag.String("json", "", "directory to write per-experiment BENCH_<id>.json files (empty disables)")
@@ -61,6 +61,7 @@ func run() int {
 		{"E13", experiments.E13FrontEndAblation},
 		{"E14", experiments.E14TelemetryOverhead},
 		{"E15", experiments.E15Recovery},
+		{"E16", experiments.E16Scale},
 	}
 
 	if *list {

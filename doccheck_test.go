@@ -1,0 +1,66 @@
+package pran
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackagesDocumentConcurrency is the concurrency-contract lint:
+// every internal package's package-level doc comment must state its
+// concurrency model — which types are safe from which goroutines, what is
+// single-threaded by design, where the locks and shards are. The repo grew a
+// real threading story (stream writer goroutines, sharded fan-in, a
+// single-threaded control loop), and docs/concurrency.md indexes these
+// contracts; a package without one is a package whose next caller guesses.
+//
+// The check is deliberately shallow — the doc comment must contain the word
+// "Concurrency" (a "Concurrency:" paragraph or a "# Concurrency" heading) —
+// because the valuable part, writing the contract down, cannot be mechanized.
+func TestInternalPackagesDocumentConcurrency(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(dirs)
+	checked := 0
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			// The package comment lives on whichever file carries it
+			// (conventionally the package's principal file).
+			var docText strings.Builder
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					docText.WriteString(f.Doc.Text())
+				}
+			}
+			checked++
+			if strings.TrimSpace(docText.String()) == "" {
+				t.Errorf("package %s (%s) has no package doc comment at all", name, dir)
+				continue
+			}
+			if !strings.Contains(docText.String(), "Concurrency") {
+				t.Errorf("package %s (%s) has no concurrency contract in its package doc: document which goroutines may touch what (see docs/concurrency.md)", name, dir)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("lint found no internal packages — glob broken?")
+	}
+	t.Logf("checked %d internal packages for concurrency contracts", checked)
+}

@@ -98,4 +98,21 @@ func main() {
 	st := pool.Stats()
 	fmt.Printf("\npool: %d tasks, %d deadline misses, FFT stage %v\n",
 		st.Submitted, st.DeadlineMisses, proc.FFTTime.Round(1000))
+
+	// This was one subframe on one pool. The same data path scales out
+	// behind the controller: run the distributed deployment with, say,
+	// 100 cells spread over four agents —
+	//
+	//	go run ./cmd/pran-controller -listen 127.0.0.1:7100 -cells 100 \
+	//	    -shards 4 -send-queue 256 -telemetry 127.0.0.1:9100 &
+	//	for i in 1 2 3 4; do
+	//	  go run ./cmd/pran-agent -controller 127.0.0.1:7100 -id $i -cores 4 &
+	//	done
+	//	curl 127.0.0.1:9100/   # merged cluster telemetry: controller.stream.*, cluster.*
+	//
+	// -shards sizes the controller's fan-in lock shards to the agent pool
+	// and -send-queue bounds each agent's command stream (stale pushes
+	// coalesce past it; see docs/control-plane.md). Experiment E16 drives
+	// this machinery at 1000 cells / 32 agents.
+	fmt.Println("\nnext: the distributed run in the README quickstart (100 cells, 4 agents)")
 }

@@ -3,8 +3,10 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pran/internal/telemetry"
 )
@@ -88,10 +90,44 @@ func (s Server) Validate() error {
 
 // Cluster is the mutable pool membership. It is safe for concurrent use;
 // the controller mutates it from its control loop while monitors read it.
+//
+// Membership is sharded by server ID: each shard has its own lock, so
+// registration bursts, state transitions, and per-server reads from
+// different connections never serialize on one mutex. Aggregates (state
+// counts, active capacity) are maintained incrementally in atomics as
+// servers mutate — a transition adjusts two counters instead of rescanning
+// the pool — and the telemetry gauges publish from those atomics.
 type Cluster struct {
+	shards []clusterShard
+
+	// counts[state] and capMilli are the incrementally maintained
+	// aggregates; they may trail an in-flight mutation by one update but
+	// converge as soon as it completes.
+	counts   [4]atomic.Int64
+	capMilli atomic.Int64
+
+	tel atomic.Pointer[clusterTelemetry] // nil until SetTelemetry
+}
+
+// clusterShard is one lock domain of the membership map.
+type clusterShard struct {
 	mu      sync.RWMutex
 	servers map[ServerID]*Server
-	tel     *clusterTelemetry // nil until SetTelemetry
+}
+
+// shardFor maps a server ID onto its shard.
+func (c *Cluster) shardFor(id ServerID) *clusterShard {
+	i := int(id) % len(c.shards)
+	if i < 0 {
+		i += len(c.shards)
+	}
+	return &c.shards[i]
+}
+
+// capacityMilli is the server's capacity contribution in milli reference
+// cores, rounded once so incremental adds and removes cancel exactly.
+func capacityMilli(s *Server) int64 {
+	return int64(math.Round(s.Capacity() * 1000))
 }
 
 // clusterTelemetry holds the membership metrics: one gauge per lifecycle
@@ -108,44 +144,66 @@ type clusterTelemetry struct {
 // cluster.active_capacity_millicores gauge across membership mutations. Pass
 // nil to detach.
 func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if reg == nil {
-		c.tel = nil
+		c.tel.Store(nil)
 		return
 	}
-	c.tel = &clusterTelemetry{
+	tel := &clusterTelemetry{
 		transitions: reg.Counter("cluster.state_transitions"),
 		capacity:    reg.Gauge("cluster.active_capacity_millicores"),
 	}
 	for st := Standby; st <= Failed; st++ {
-		c.tel.states[st] = reg.Gauge("cluster.servers_" + st.String())
+		tel.states[st] = reg.Gauge("cluster.servers_" + st.String())
 	}
-	c.updateTelemetryLocked()
+	c.tel.Store(tel)
+	c.publishTelemetry()
 }
 
-// updateTelemetryLocked refreshes the state gauges; callers hold c.mu.
-func (c *Cluster) updateTelemetryLocked() {
-	if c.tel == nil {
+// applyDelta folds one server mutation into the aggregates and republishes
+// the gauges. Pass state -1 to skip a side (pure add or remove).
+func (c *Cluster) applyDelta(oldState ServerState, oldCap int64, newState ServerState, newCap int64) {
+	if oldState >= 0 {
+		c.counts[oldState].Add(-1)
+	}
+	if newState >= 0 {
+		c.counts[newState].Add(1)
+	}
+	if d := newCap - oldCap; d != 0 {
+		c.capMilli.Add(d)
+	}
+	c.publishTelemetry()
+}
+
+// publishTelemetry pushes the aggregate atomics into the gauges.
+func (c *Cluster) publishTelemetry() {
+	tel := c.tel.Load()
+	if tel == nil {
 		return
 	}
-	var counts [4]int64
-	capacity := 0.0
-	for _, s := range c.servers {
-		if s.State >= Standby && s.State <= Failed {
-			counts[s.State]++
-		}
-		capacity += s.Capacity()
-	}
 	for st := Standby; st <= Failed; st++ {
-		c.tel.states[st].Set(counts[st])
+		tel.states[st].Set(c.counts[st].Load())
 	}
-	c.tel.capacity.Set(int64(capacity * 1000))
+	tel.capacity.Set(c.capMilli.Load())
 }
 
-// New returns an empty cluster.
-func New() *Cluster {
-	return &Cluster{servers: make(map[ServerID]*Server)}
+// DefaultShards is the shard count New uses; metro-scale pools are dozens
+// to hundreds of servers, so eight lock domains keep registration and
+// heartbeat-driven reads from serializing without wasting footprint.
+const DefaultShards = 8
+
+// New returns an empty cluster with DefaultShards lock shards.
+func New() *Cluster { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty cluster with n lock shards (minimum 1).
+func NewSharded(n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{shards: make([]clusterShard, n)}
+	for i := range c.shards {
+		c.shards[i].servers = make(map[ServerID]*Server)
+	}
+	return c
 }
 
 // Add registers a server (in its given state). Re-adding an existing ID is
@@ -154,22 +212,25 @@ func (c *Cluster) Add(s Server) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.servers[s.ID]; ok {
+	sh := c.shardFor(s.ID)
+	sh.mu.Lock()
+	if _, ok := sh.servers[s.ID]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: server %d already present: %w", s.ID, ErrBadTransition)
 	}
 	cp := s
-	c.servers[s.ID] = &cp
-	c.updateTelemetryLocked()
+	sh.servers[s.ID] = &cp
+	sh.mu.Unlock()
+	c.applyDelta(-1, 0, s.State, capacityMilli(&cp))
 	return nil
 }
 
 // Get returns a snapshot of the server.
 func (c *Cluster) Get(id ServerID) (Server, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	s, ok := c.servers[id]
+	sh := c.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s, ok := sh.servers[id]
 	if !ok {
 		return Server{}, fmt.Errorf("cluster: id %d: %w", id, ErrNoSuchServer)
 	}
@@ -179,21 +240,27 @@ func (c *Cluster) Get(id ServerID) (Server, error) {
 // SetState transitions a server's lifecycle state. Failed is terminal
 // except for explicit Repair.
 func (c *Cluster) SetState(id ServerID, st ServerState) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.servers[id]
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.servers[id]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: id %d: %w", id, ErrNoSuchServer)
 	}
 	if s.State == Failed && st != Standby {
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: server %d is failed: %w", id, ErrBadTransition)
 	}
-	changed := s.State != st
+	old, oldCap := s.State, capacityMilli(s)
 	s.State = st
-	if changed && c.tel != nil {
-		c.tel.transitions.Inc(0)
+	newCap := capacityMilli(s)
+	sh.mu.Unlock()
+	if old != st {
+		if tel := c.tel.Load(); tel != nil {
+			tel.transitions.Inc(0)
+		}
 	}
-	c.updateTelemetryLocked()
+	c.applyDelta(old, oldCap, st, newCap)
 	return nil
 }
 
@@ -202,31 +269,39 @@ func (c *Cluster) Fail(id ServerID) error { return c.SetState(id, Failed) }
 
 // Repair returns a failed server to standby.
 func (c *Cluster) Repair(id ServerID) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.servers[id]
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.servers[id]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: id %d: %w", id, ErrNoSuchServer)
 	}
 	if s.State != Failed {
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: server %d not failed: %w", id, ErrBadTransition)
 	}
 	s.State = Standby
-	if c.tel != nil {
-		c.tel.transitions.Inc(0)
+	sh.mu.Unlock()
+	if tel := c.tel.Load(); tel != nil {
+		tel.transitions.Inc(0)
 	}
-	c.updateTelemetryLocked()
+	c.applyDelta(Failed, 0, Standby, 0)
 	return nil
 }
 
 // Servers returns snapshots of all servers sorted by ID (deterministic
-// iteration for placement and tests).
+// iteration for placement and tests). Shards are read in turn, so the view
+// is per-shard consistent, not a global cut — same as any reader racing the
+// control loop.
 func (c *Cluster) Servers() []Server {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]Server, 0, len(c.servers))
-	for _, s := range c.servers {
-		out = append(out, *s)
+	var out []Server
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.servers {
+			out = append(out, *s)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -3,6 +3,7 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"pran/internal/cluster"
 	"pran/internal/frame"
@@ -44,6 +45,14 @@ type Config struct {
 	Scale *ScalePolicy
 	// Policy is the placement heuristic.
 	Policy PlacePolicy
+	// Shards is the load monitor's lock-shard count (0 selects the
+	// default); size it to the expected reporter concurrency.
+	Shards int
+	// DisableIncremental forces a full placement recompute every round.
+	// The incremental engine falls back to exactly this computation, so
+	// the flag exists as the oracle for its equivalence property test and
+	// as an ablation knob, not as a safety valve.
+	DisableIncremental bool
 }
 
 // DefaultConfig returns the controller defaults used by the experiments.
@@ -90,9 +99,14 @@ type Controller struct {
 	pred    *Predictor
 
 	placement Placement
+	// cache backs the incremental fast path (see incremental.go).
+	cache placeCache
 
 	// cumulative statistics
 	rounds, totalMigrations, totalPromotions uint64
+	// fast/full round counters are atomic so observers (experiments,
+	// telemetry) may read them while the control loop runs.
+	fastRounds, fullRounds atomic.Uint64
 }
 
 // New builds a controller over the cluster.
@@ -106,7 +120,11 @@ func New(cfg Config, cl *cluster.Cluster) (*Controller, error) {
 	if cfg.ForecastSteps < 0 {
 		return nil, fmt.Errorf("controller: forecast steps %d: %w", cfg.ForecastSteps, phy.ErrBadParameter)
 	}
-	mon, err := NewLoadMonitor(cfg.MonitorAlpha)
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = defaultMonitorShards
+	}
+	mon, err := NewLoadMonitorSharded(cfg.MonitorAlpha, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -224,9 +242,22 @@ func (c *Controller) Step() (StepReport, error) {
 	return rep, nil
 }
 
-// place recomputes the placement, promoting extra standbys if demand does
-// not fit, and shedding cells only when the whole pool is exhausted.
+// place updates the placement, promoting extra standbys if demand does not
+// fit, and shedding cells only when the whole pool is exhausted. Rounds
+// whose change set leaves the current placement provably optimal-by-
+// construction take the incremental fast path (see incremental.go); the
+// rest recompute fully, which is also the fallback that defines the fast
+// path's correctness.
 func (c *Controller) place(rep *StepReport) error {
+	if !c.cfg.DisableIncremental {
+		changes := c.monitor.TakeChanges()
+		if c.tryIncremental(changes) {
+			rep.Migrations = 0
+			c.fastRounds.Add(1)
+			return nil
+		}
+	}
+	c.fullRounds.Add(1)
 	demands := c.monitor.Demands()
 	for {
 		res, err := Place(demands, c.cluster.Servers(), c.placement, c.cfg.Policy)
@@ -234,9 +265,11 @@ func (c *Controller) place(rep *StepReport) error {
 			rep.Migrations = res.Migrations
 			c.totalMigrations += uint64(res.Migrations)
 			c.placement = res.Placement
+			c.cache.rebuild(demands, res.ServerLoad, c.cluster.Servers())
 			return nil
 		}
 		if !errors.Is(err, ErrUnplaceable) {
+			c.cache.invalidate()
 			return err
 		}
 		// Try promoting one more standby.
@@ -246,6 +279,7 @@ func (c *Controller) place(rep *StepReport) error {
 			return c.placeWithShedding(demands, rep)
 		}
 		if err := c.cluster.SetState(standbys[0].ID, cluster.Active); err != nil {
+			c.cache.invalidate()
 			return err
 		}
 		rep.Promotions++
@@ -253,8 +287,11 @@ func (c *Controller) place(rep *StepReport) error {
 	}
 }
 
-// placeWithShedding drops the lightest cells until placement succeeds.
+// placeWithShedding drops the lightest cells until placement succeeds. The
+// incremental cache stays invalid while shedding: an overloaded pool must
+// re-evaluate what fits every round.
 func (c *Controller) placeWithShedding(demands map[frame.CellID]float64, rep *StepReport) error {
+	c.cache.invalidate()
 	rep.Unplaceable = true
 	remaining := make(map[frame.CellID]float64, len(demands))
 	for k, v := range demands {
@@ -334,6 +371,8 @@ func (c *Controller) OnServerFailure(id cluster.ServerID) (FailureReport, error)
 	if err := c.cluster.Fail(id); err != nil {
 		return rep, err
 	}
+	// The placement is about to be mutated out from under the cache.
+	c.cache.invalidate()
 	for cell, srv := range c.placement {
 		if srv == id {
 			rep.LostCells = append(rep.LostCells, cell)

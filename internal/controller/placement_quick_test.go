@@ -2,6 +2,7 @@ package controller
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -112,6 +113,136 @@ func TestScaleTargetQuick(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// closeEnough compares two floats to within float-summation-reordering
+// noise (map iteration order varies the accumulation order of demand sums).
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+math.Abs(a))
+}
+
+// TestIncrementalMatchesFullRecomputeQuick is the incremental placer's
+// equivalence property: two controllers fed identical demand churn, cell
+// teardowns, and server failures — one with the incremental fast path, one
+// forced to recompute fully every round — must report bit-identical
+// placements, migration counts, and scaling decisions on every round. The
+// fast path only ever claims "the previous answer is still the answer", so
+// any divergence is a soundness bug, not a tuning difference.
+func TestIncrementalMatchesFullRecomputeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func(disable bool) *Controller {
+			cl, err := cluster.Uniform(8, 4, 4, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.DisableIncremental = disable
+			c, err := New(cfg, cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		inc, full := build(false), build(true)
+
+		nCells := 20 + rng.Intn(80)
+		base := make([]float64, nCells)
+		for i := range base {
+			base[i] = 0.05 + rng.Float64()*0.3
+		}
+		failed := map[cluster.ServerID]bool{}
+		for round := 0; round < 40; round++ {
+			switch rng.Intn(10) {
+			case 0:
+				// Quiet round: no observations at all. With a stable pool
+				// this is the canonical fast-path round.
+			case 1:
+				// Tear down a random cell on both controllers.
+				victim := frame.CellID(rng.Intn(nCells))
+				inc.Monitor().Forget(victim)
+				full.Monitor().Forget(victim)
+			case 2:
+				// Fail a not-yet-failed server on both (structural change).
+				id := cluster.ServerID(rng.Intn(8))
+				if !failed[id] && len(failed) < 6 {
+					failed[id] = true
+					repA, errA := inc.OnServerFailure(id)
+					repB, errB := full.OnServerFailure(id)
+					if (errA == nil) != (errB == nil) {
+						t.Logf("seed %d round %d: failure err mismatch %v vs %v", seed, round, errA, errB)
+						return false
+					}
+					if len(repA.LostCells) != len(repB.LostCells) || len(repA.Dropped) != len(repB.Dropped) {
+						t.Logf("seed %d round %d: failure report mismatch", seed, round)
+						return false
+					}
+				}
+			default:
+				// Perturb a random subset of cells; small deltas most
+				// rounds so the incremental path actually engages.
+				scale := 0.02
+				if rng.Intn(4) == 0 {
+					scale = 0.5 // occasional big swing forces repacking
+				}
+				for i := 0; i < 1+rng.Intn(nCells); i++ {
+					c := rng.Intn(nCells)
+					d := base[c] * (1 + scale*(rng.Float64()*2-1))
+					inc.ObserveCell(frame.CellID(c), d)
+					full.ObserveCell(frame.CellID(c), d)
+				}
+			}
+			repA, errA := inc.Step()
+			repB, errB := full.Step()
+			if (errA == nil) != (errB == nil) {
+				t.Logf("seed %d round %d: step err mismatch %v vs %v", seed, round, errA, errB)
+				return false
+			}
+			if errA != nil {
+				continue
+			}
+			// Demand and Forecast are sums over a map, so their last ULP
+			// depends on iteration order; everything discrete is exact.
+			if !closeEnough(repA.Demand, repB.Demand) || !closeEnough(repA.Forecast, repB.Forecast) ||
+				repA.Active != repB.Active || repA.Standby != repB.Standby ||
+				repA.Promotions != repB.Promotions || repA.Demotions != repB.Demotions ||
+				repA.Migrations != repB.Migrations || repA.Unplaceable != repB.Unplaceable ||
+				len(repA.Dropped) != len(repB.Dropped) {
+				t.Logf("seed %d round %d: step report mismatch %+v vs %+v", seed, round, repA, repB)
+				return false
+			}
+			pa, pb := inc.Placement(), full.Placement()
+			if len(pa) != len(pb) {
+				t.Logf("seed %d round %d: placement size %d vs %d", seed, round, len(pa), len(pb))
+				return false
+			}
+			for cell, srv := range pa {
+				if pb[cell] != srv {
+					t.Logf("seed %d round %d: cell %d on %d vs %d", seed, round, cell, srv, pb[cell])
+					return false
+				}
+			}
+		}
+		// The oracle controller must never have taken the fast path; the
+		// incremental one must have taken it at least once (quiet rounds and
+		// small perturbations exist in every 40-round trace).
+		if fast, _ := full.PlaceStats(); fast != 0 {
+			t.Logf("seed %d: oracle took %d fast rounds", seed, fast)
+			return false
+		}
+		if fast, _ := inc.PlaceStats(); fast == 0 {
+			t.Logf("seed %d: incremental controller never took the fast path", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
 }

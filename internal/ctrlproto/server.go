@@ -26,7 +26,12 @@ type Handler interface {
 }
 
 // Agent is the controller's handle on one connected data-plane server.
-// Command senders may be called from any goroutine.
+// Command senders may be called from any goroutine: each enqueues onto the
+// agent's event stream (see Stream) and returns without touching the socket,
+// so a slow agent can never stall a caller. Enqueue errors mean the message
+// was not (and will not be) delivered — the stream is closed or the queue
+// was full of uncoalescable traffic — and the caller must re-drive the state
+// on a later round.
 type Agent struct {
 	// ID is the agent's registered server ID.
 	ID uint32
@@ -34,9 +39,10 @@ type Agent struct {
 	Cores      uint16
 	SpeedMilli uint32
 
-	conn *Conn
-	seq  uint32
-	mu   sync.Mutex
+	conn   *Conn
+	stream *Stream // non-nil once serveConn starts the writer
+	seq    uint32
+	mu     sync.Mutex
 }
 
 // nextSeq returns a fresh command sequence number.
@@ -47,48 +53,79 @@ func (a *Agent) nextSeq() uint32 {
 	return a.seq
 }
 
-// Send transmits a raw message to the agent.
+// Send transmits a raw message to the agent directly, bypassing the stream.
+// It blocks on the socket; command senders below are the streaming path.
 func (a *Agent) Send(m Message) error { return a.conn.WriteMessage(m) }
 
-// AssignCell sends a cell assignment and returns its sequence number.
+// send enqueues onto the agent's stream, falling back to a direct write for
+// agents constructed without one (tests driving the protocol by hand).
+func (a *Agent) send(key StreamKey, m Message) error {
+	if a.stream != nil {
+		return a.stream.Enqueue(key, m)
+	}
+	return a.conn.WriteMessage(m)
+}
+
+// StreamStats returns the agent stream's accounting (zero value when the
+// agent has no stream).
+func (a *Agent) StreamStats() StreamStats {
+	if a.stream == nil {
+		return StreamStats{}
+	}
+	return a.stream.Stats()
+}
+
+// AssignCell queues a cell assignment and returns its sequence number. It
+// coalesces with any queued assignment or removal of the same cell: both
+// declare the cell's desired placement, and the newest declaration wins.
 func (a *Agent) AssignCell(cell, pci, prb uint16, antennas uint8) (uint32, error) {
 	seq := a.nextSeq()
-	return seq, a.Send(&AssignCell{Seq: seq, Cell: cell, PCI: pci, PRB: prb, Antennas: antennas})
+	return seq, a.send(StreamKey{Kind: KeyPlacement, Cell: cell},
+		&AssignCell{Seq: seq, Cell: cell, PCI: pci, PRB: prb, Antennas: antennas})
 }
 
-// RemoveCell sends a cell removal.
+// RemoveCell queues a cell removal (coalesces with queued placement commands
+// for the same cell).
 func (a *Agent) RemoveCell(cell uint16) (uint32, error) {
 	seq := a.nextSeq()
-	return seq, a.Send(&RemoveCell{Seq: seq, Cell: cell})
+	return seq, a.send(StreamKey{Kind: KeyPlacement, Cell: cell}, &RemoveCell{Seq: seq, Cell: cell})
 }
 
-// MigrateState ships a cell's serialized state to the agent.
+// MigrateState queues a cell's serialized state for the agent; a newer
+// snapshot for the same cell supersedes a queued older one.
 func (a *Agent) MigrateState(cell uint16, state []byte) (uint32, error) {
 	seq := a.nextSeq()
-	return seq, a.Send(&MigrateState{Seq: seq, Cell: cell, State: state})
+	return seq, a.send(StreamKey{Kind: KeyState, Cell: cell}, &MigrateState{Seq: seq, Cell: cell, State: state})
 }
 
-// Drain tells the agent to stop accepting new cells.
+// Drain tells the agent to stop accepting new cells. Lifecycle commands are
+// unkeyed: they queue FIFO and are never coalesced or dropped.
 func (a *Agent) Drain() (uint32, error) {
 	seq := a.nextSeq()
-	return seq, a.Send(&Drain{Seq: seq})
+	return seq, a.send(StreamKey{}, &Drain{Seq: seq})
 }
 
-// Promote activates a standby agent.
+// Promote activates a standby agent (unkeyed, like Drain).
 func (a *Agent) Promote() (uint32, error) {
 	seq := a.nextSeq()
-	return seq, a.Send(&Promote{Seq: seq})
+	return seq, a.send(StreamKey{}, &Promote{Seq: seq})
 }
 
 // RequestStats asks the agent for a telemetry snapshot; the StatsReport
-// arrives on the handler's OnMessage with the returned sequence number.
+// arrives on the handler's OnMessage with the returned sequence number. A
+// queued unanswered request is superseded by a fresh one.
 func (a *Agent) RequestStats() (uint32, error) {
 	seq := a.nextSeq()
-	return seq, a.Send(&StatsRequest{Seq: seq})
+	return seq, a.send(StreamKey{Kind: KeyStats}, &StatsRequest{Seq: seq})
 }
 
-// Close terminates the agent connection.
-func (a *Agent) Close() error { return a.conn.Close() }
+// Close terminates the agent connection and its stream.
+func (a *Agent) Close() error {
+	if a.stream != nil {
+		a.stream.close()
+	}
+	return a.conn.Close()
+}
 
 // Server is the controller-side protocol endpoint.
 type Server struct {
@@ -104,6 +141,18 @@ type Server struct {
 	// budget so lease expiry — not the socket timeout — is the failure
 	// detector of record.
 	ReadMissBudget int
+	// SendQueue bounds each agent stream's live queue (default 256). When a
+	// slow agent fills it, new keyed messages coalesce with or evict stale
+	// ones; see Stream.
+	SendQueue int
+	// OnStreamSend, when non-nil, observes every queued message written to
+	// an agent with the time it waited in the queue — the per-push
+	// dissemination-latency signal. Called from per-agent writer goroutines.
+	OnStreamSend func(a *Agent, key StreamKey, queueWait time.Duration)
+	// OnStreamDrop, when non-nil, observes keyed messages evicted from a
+	// full queue so the control layer can re-drive the lost state. Called
+	// from the enqueuing goroutine.
+	OnStreamDrop func(a *Agent, key StreamKey, m Message)
 
 	mu     sync.Mutex
 	agents map[uint32]*Agent
@@ -213,16 +262,32 @@ func (s *Server) serveConn(nc net.Conn) {
 		_ = conn.Close()
 		return
 	}
+	// The ack goes out before the agent is published (and before the stream
+	// starts), so no queued command can reach the wire ahead of it.
+	if err := conn.WriteMessage(&RegisterAck{HeartbeatMillis: uint32(s.HeartbeatInterval / time.Millisecond)}); err != nil {
+		_ = conn.Close()
+		return
+	}
+	agent.stream = newStream(conn, s.SendQueue)
+	if s.OnStreamSend != nil {
+		hook := s.OnStreamSend
+		agent.stream.onSent = func(key StreamKey, wait time.Duration) { hook(agent, key, wait) }
+	}
+	if s.OnStreamDrop != nil {
+		hook := s.OnStreamDrop
+		agent.stream.onDrop = func(key StreamKey, m Message) { hook(agent, key, m) }
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		agent.stream.writeLoop()
+	}()
 	s.mu.Lock()
 	if old, exists := s.agents[agent.ID]; exists {
 		_ = old.Close()
 	}
 	s.agents[agent.ID] = agent
 	s.mu.Unlock()
-	if err := conn.WriteMessage(&RegisterAck{HeartbeatMillis: uint32(s.HeartbeatInterval / time.Millisecond)}); err != nil {
-		s.dropAgent(agent, err)
-		return
-	}
 	// Heartbeats should arrive every interval; tolerate ReadMissBudget
 	// silent intervals before declaring the connection dead.
 	miss := s.ReadMissBudget
@@ -252,6 +317,9 @@ func (s *Server) dropAgent(a *Agent, err error) {
 	}
 	closed := s.closed
 	s.mu.Unlock()
+	if a.stream != nil {
+		a.stream.close()
+	}
 	_ = a.conn.Close()
 	if !closed || !errors.Is(err, net.ErrClosed) {
 		s.handler.OnDisconnect(a, err)

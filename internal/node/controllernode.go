@@ -9,11 +9,19 @@
 // package so the whole distributed path stays unit-testable over loopback.
 //
 // Concurrency: this is where the single-threaded control plane meets the
-// network. The controller node serializes all state mutation behind one
-// mutex, so per-connection reader goroutines never touch controller state
-// concurrently; the agent node runs a TTI loop goroutine driving its
-// dataplane pool plus a report loop goroutine streaming load, sharing state
-// under the agent's mutex. Shutdown joins all goroutines via WaitGroups.
+// network. The controller node serializes placement mutation behind one
+// mutex (n.mu), but its fan-in paths are sharded so dozens of per-agent
+// reader goroutines never serialize on a single lock: heartbeat leases and
+// scrape correlation state live in per-shard maps keyed by agent ID, and
+// cell-load reports land in the controller's sharded LoadMonitor. On the
+// fan-out side every agent has a dedicated stream writer goroutine
+// (ctrlproto.Stream) draining a bounded coalescing queue, so no goroutine
+// holding n.mu ever performs socket IO — commands are enqueued after the
+// lock is released, and a slow agent backpressures only its own queue. The
+// agent node runs a TTI loop goroutine driving its dataplane pool plus a
+// report loop goroutine streaming load, sharing state under the agent's
+// mutex. Shutdown joins all goroutines via WaitGroups. See
+// docs/control-plane.md for the full contract.
 package node
 
 import (
@@ -55,6 +63,11 @@ type ControllerNode struct {
 
 	mu      sync.Mutex
 	applied controller.Placement // what agents have been told
+	// pendingRemoves holds removals that could not be delivered (stream
+	// closed, queue overflow, or evicted under backpressure); pushPlacement
+	// retries them every round until the agent takes them or the placement
+	// routes the cell back.
+	pendingRemoves map[frame.CellID]cluster.ServerID
 	// warm caches the freshest HARQ snapshot per cell (shipped by agents
 	// with their load reports) so a failover can re-place a cell together
 	// with its soft-combining state even though its host is gone.
@@ -63,12 +76,12 @@ type ControllerNode struct {
 	doneCh  chan struct{}
 	started bool
 
-	// liveMu guards the heartbeat leases. It is separate from mu because
-	// heartbeats arrive on per-agent reader goroutines at high rate and
-	// must never wait behind a control round pushing assignments.
-	liveMu   sync.Mutex
-	lastSeen map[uint32]time.Time
-	hbAge    map[uint32]*telemetry.Gauge
+	// leases are the heartbeat-lease shards, keyed by agent ID. They are
+	// separate from mu because heartbeats arrive on per-agent reader
+	// goroutines at high rate and must never wait behind a control round —
+	// and sharded so those reader goroutines don't serialize on each other
+	// either: a renewal locks only the owning shard.
+	leases []leaseShard
 
 	// Fault-tolerance telemetry, resolved once at construction.
 	leaseExpiries   *telemetry.Counter
@@ -77,11 +90,44 @@ type ControllerNode struct {
 	statePushed     *telemetry.Counter
 	warmBytes       *telemetry.Gauge
 
-	// statsMu guards the scrape correlation map: agent ID → the channel
-	// awaiting that agent's StatsReport. Kept separate from mu because
-	// reports arrive on reader goroutines while a scraper may hold mu.
-	statsMu      sync.Mutex
-	statsPending map[uint32]chan []byte
+	// Control-plane dissemination telemetry.
+	streamWait    *telemetry.Histogram // queue wait per delivered push
+	roundDur      *telemetry.Histogram // control round duration
+	assignsSent   *telemetry.Counter
+	removesSent   *telemetry.Counter
+	streamSent    *telemetry.Gauge
+	streamCoal    *telemetry.Gauge
+	streamDropped *telemetry.Gauge
+	streamDepth   *telemetry.Gauge
+
+	// stats are the scrape correlation shards: agent ID → the channel
+	// awaiting that agent's StatsReport. Sharded like the leases so
+	// concurrent report arrivals during a fan-in scrape only lock their
+	// own slice of the table.
+	stats []statsShard
+}
+
+// leaseShard is one lock domain of the heartbeat-lease table.
+type leaseShard struct {
+	mu       sync.Mutex
+	lastSeen map[uint32]time.Time
+	hbAge    map[uint32]*telemetry.Gauge
+}
+
+// statsShard is one lock domain of the scrape correlation table.
+type statsShard struct {
+	mu      sync.Mutex
+	pending map[uint32]chan []byte
+}
+
+// leaseShardFor maps an agent ID onto its lease shard.
+func (n *ControllerNode) leaseShardFor(id uint32) *leaseShard {
+	return &n.leases[id%uint32(len(n.leases))]
+}
+
+// statsShardFor maps an agent ID onto its scrape shard.
+func (n *ControllerNode) statsShardFor(id uint32) *statsShard {
+	return &n.stats[id%uint32(len(n.stats))]
 }
 
 // ControllerConfig parameterizes a controller node.
@@ -100,6 +146,14 @@ type ControllerConfig struct {
 	// (default 5). The protocol-level socket timeout is kept at twice this
 	// budget so the lease — not the socket — is the failure detector.
 	LeaseMisses int
+	// Shards is the fan-in shard count for the lease table, the scrape
+	// correlation table, the cluster membership, and (unless the embedded
+	// controller config sets its own) the load monitor (default 8). Size
+	// it to the expected agent/reporter concurrency.
+	Shards int
+	// SendQueue bounds each agent's outbound command stream (default 256
+	// messages); a slow agent coalesces or sheds stale pushes past it.
+	SendQueue int
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...any)
 	// Telemetry selects the controller's local registry (cluster state
@@ -122,10 +176,16 @@ func NewControllerNode(ln net.Listener, cfg ControllerConfig) (*ControllerNode, 
 	if cfg.LeaseMisses <= 0 {
 		cfg.LeaseMisses = 5
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = cluster.DefaultShards
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	ctl, err := controller.New(cfg.Controller, cluster.New())
+	if cfg.Controller.Shards == 0 {
+		cfg.Controller.Shards = cfg.Shards
+	}
+	ctl, err := controller.New(cfg.Controller, cluster.NewSharded(cfg.Shards))
 	if err != nil {
 		return nil, err
 	}
@@ -135,25 +195,41 @@ func NewControllerNode(ln net.Listener, cfg ControllerConfig) (*ControllerNode, 
 	}
 	ctl.Cluster().SetTelemetry(reg)
 	n := &ControllerNode{
-		ctl:          ctl,
-		cells:        make(map[frame.CellID]CellSpecNet, len(cfg.Cells)),
-		logf:         cfg.Logf,
-		period:       cfg.Period,
-		reg:          reg,
-		leaseBudget:  time.Duration(cfg.LeaseMisses) * cfg.HeartbeatInterval,
-		applied:      make(controller.Placement),
-		warm:         make(map[frame.CellID][]byte),
-		stopCh:       make(chan struct{}),
-		doneCh:       make(chan struct{}),
-		lastSeen:     make(map[uint32]time.Time),
-		hbAge:        make(map[uint32]*telemetry.Gauge),
-		statsPending: make(map[uint32]chan []byte),
+		ctl:            ctl,
+		cells:          make(map[frame.CellID]CellSpecNet, len(cfg.Cells)),
+		logf:           cfg.Logf,
+		period:         cfg.Period,
+		reg:            reg,
+		leaseBudget:    time.Duration(cfg.LeaseMisses) * cfg.HeartbeatInterval,
+		applied:        make(controller.Placement),
+		pendingRemoves: make(map[frame.CellID]cluster.ServerID),
+		warm:           make(map[frame.CellID][]byte),
+		stopCh:         make(chan struct{}),
+		doneCh:         make(chan struct{}),
+		leases:         make([]leaseShard, cfg.Shards),
+		stats:          make([]statsShard, cfg.Shards),
 
 		leaseExpiries:   reg.Counter("controller.lease_expiries"),
 		registrations:   reg.Counter("controller.registrations"),
 		cellsFailedOver: reg.Counter("controller.cells_failed_over"),
 		statePushed:     reg.Counter("controller.state_pushed_bytes"),
 		warmBytes:       reg.Gauge("controller.warm_state_bytes"),
+
+		streamWait:    reg.LatencyHistogram("controller.stream.queue_wait_s"),
+		roundDur:      reg.LatencyHistogram("controller.round_s"),
+		assignsSent:   reg.Counter("controller.assigns_sent"),
+		removesSent:   reg.Counter("controller.removes_sent"),
+		streamSent:    reg.Gauge("controller.stream.sent"),
+		streamCoal:    reg.Gauge("controller.stream.coalesced"),
+		streamDropped: reg.Gauge("controller.stream.dropped"),
+		streamDepth:   reg.Gauge("controller.stream.depth"),
+	}
+	for i := range n.leases {
+		n.leases[i].lastSeen = make(map[uint32]time.Time)
+		n.leases[i].hbAge = make(map[uint32]*telemetry.Gauge)
+	}
+	for i := range n.stats {
+		n.stats[i].pending = make(map[uint32]chan []byte)
 	}
 	for _, c := range cfg.Cells {
 		n.cells[c.ID] = c
@@ -163,6 +239,28 @@ func NewControllerNode(ln net.Listener, cfg ControllerConfig) (*ControllerNode, 
 	// Keep the socket timeout well past the lease budget so the sweep, not
 	// the read deadline, is the failure detector of record.
 	n.srv.ReadMissBudget = 2 * cfg.LeaseMisses
+	n.srv.SendQueue = cfg.SendQueue
+	// Per-push dissemination latency: each delivered command reports how
+	// long it waited in its agent's queue (sharded by agent ID).
+	n.srv.OnStreamSend = func(a *ctrlproto.Agent, key ctrlproto.StreamKey, wait time.Duration) {
+		n.streamWait.ObserveDuration(int(a.ID), wait)
+	}
+	// Evictions under backpressure: repair the bookkeeping so the dropped
+	// state is re-driven once the agent catches up.
+	n.srv.OnStreamDrop = func(a *ctrlproto.Agent, key ctrlproto.StreamKey, m ctrlproto.Message) {
+		switch t := m.(type) {
+		case *ctrlproto.AssignCell:
+			n.mu.Lock()
+			if n.applied[frame.CellID(t.Cell)] == cluster.ServerID(a.ID) {
+				delete(n.applied, frame.CellID(t.Cell))
+			}
+			n.mu.Unlock()
+		case *ctrlproto.RemoveCell:
+			n.mu.Lock()
+			n.pendingRemoves[frame.CellID(t.Cell)] = cluster.ServerID(a.ID)
+			n.mu.Unlock()
+		}
+	}
 	return n, nil
 }
 
@@ -206,33 +304,38 @@ func (h *ctrlHandler) OnHeartbeat(a *ctrlproto.Agent, hb *ctrlproto.Heartbeat) {
 	(*ControllerNode)(h).touchLease(a.ID)
 }
 
-// touchLease records a proof of life for the agent.
+// touchLease records a proof of life for the agent, locking only the
+// agent's lease shard.
 func (n *ControllerNode) touchLease(id uint32) {
-	n.liveMu.Lock()
-	n.lastSeen[id] = time.Now()
-	if _, ok := n.hbAge[id]; !ok {
-		n.hbAge[id] = n.reg.Gauge(fmt.Sprintf("controller.agent.%d.heartbeat_age_ms", id))
+	sh := n.leaseShardFor(id)
+	sh.mu.Lock()
+	sh.lastSeen[id] = time.Now()
+	if _, ok := sh.hbAge[id]; !ok {
+		sh.hbAge[id] = n.reg.Gauge(fmt.Sprintf("controller.agent.%d.heartbeat_age_ms", id))
 	}
-	n.hbAge[id].Set(0)
-	n.liveMu.Unlock()
+	sh.hbAge[id].Set(0)
+	sh.mu.Unlock()
 }
 
 // sweepLeases declares agents whose lease lapsed dead: their connection is
 // closed, the cluster marks them Failed, and their cells are re-placed with
-// warm HARQ state. Runs on the control loop goroutine.
+// warm HARQ state. Runs on the control loop goroutine, shard by shard.
 func (n *ControllerNode) sweepLeases() {
 	now := time.Now()
-	n.liveMu.Lock()
 	var expired []uint32
-	for id, last := range n.lastSeen {
-		age := now.Sub(last)
-		n.hbAge[id].Set(age.Milliseconds())
-		if age > n.leaseBudget {
-			expired = append(expired, id)
-			delete(n.lastSeen, id)
+	for i := range n.leases {
+		sh := &n.leases[i]
+		sh.mu.Lock()
+		for id, last := range sh.lastSeen {
+			age := now.Sub(last)
+			sh.hbAge[id].Set(age.Milliseconds())
+			if age > n.leaseBudget {
+				expired = append(expired, id)
+				delete(sh.lastSeen, id)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	n.liveMu.Unlock()
 	for _, id := range expired {
 		n.leaseExpiries.Inc(0)
 		n.logf("controller: server %d lease expired (budget %v)", id, n.leaseBudget)
@@ -269,12 +372,13 @@ func (h *ctrlHandler) OnMessage(a *ctrlproto.Agent, m ctrlproto.Message) {
 	case *ctrlproto.CellLoad:
 		n.ctl.ObserveCell(frame.CellID(t.Cell), float64(t.MilliCores)/1000)
 	case *ctrlproto.StatsReport:
-		n.statsMu.Lock()
-		ch, ok := n.statsPending[a.ID]
+		sh := n.statsShardFor(a.ID)
+		sh.mu.Lock()
+		ch, ok := sh.pending[a.ID]
 		if ok {
-			delete(n.statsPending, a.ID)
+			delete(sh.pending, a.ID)
 		}
-		n.statsMu.Unlock()
+		sh.mu.Unlock()
 		if ok {
 			ch <- t.Data // buffered; never blocks the reader goroutine
 		}
@@ -373,6 +477,9 @@ func (n *ControllerNode) Addr() net.Addr { return n.srv.Addr() }
 // Controller exposes the control plane for inspection.
 func (n *ControllerNode) Controller() *controller.Controller { return n.ctl }
 
+// NumAgents returns the number of currently connected agents.
+func (n *ControllerNode) NumAgents() int { return n.srv.NumAgents() }
+
 // Close stops the control loop and the server.
 func (n *ControllerNode) Close() error {
 	n.mu.Lock()
@@ -396,6 +503,7 @@ func (n *ControllerNode) controlLoop() {
 			return
 		case <-ticker.C:
 		}
+		start := time.Now()
 		n.sweepLeases()
 		n.mu.Lock()
 		rep, err := n.ctl.Step()
@@ -409,16 +517,37 @@ func (n *ControllerNode) controlLoop() {
 				rep.Demand, rep.Forecast, rep.Active, rep.Migrations, len(rep.Dropped))
 		}
 		n.pushPlacement()
+		n.roundDur.ObserveDuration(0, time.Since(start))
+		n.updateStreamGauges()
 	}
 }
 
+// updateStreamGauges aggregates every connected agent's stream accounting
+// into the cluster-wide dissemination gauges. Runs once per control round.
+func (n *ControllerNode) updateStreamGauges() {
+	var sent, coal, dropped, depth int64
+	for _, a := range n.srv.Agents() {
+		st := a.StreamStats()
+		sent += int64(st.Sent)
+		coal += int64(st.Coalesced)
+		dropped += int64(st.Dropped)
+		depth += int64(st.Depth)
+	}
+	n.streamSent.Set(sent)
+	n.streamCoal.Set(coal)
+	n.streamDropped.Set(dropped)
+	n.streamDepth.Set(depth)
+}
+
 // pushPlacement diffs the controller's placement against what agents have
-// been told and sends remove/assign commands. It must run WITHOUT n.mu
-// held: command writes can block on a slow or backpressured agent socket,
-// and holding the node lock across that IO deadlocks the per-agent reader
-// goroutines (which take n.mu to record inbound state) against agents that
-// are mid-write to us. The diff is computed and n.applied updated
-// optimistically under the lock; a failed assign rolls its entry back.
+// been told and enqueues remove/assign commands onto the per-agent streams.
+// It must run WITHOUT n.mu held — PR 5's rule, which the streams now make
+// cheap to honor: enqueues never block on a socket, but keeping command
+// dispatch outside the lock also keeps the stream drop hooks (which take
+// n.mu to repair bookkeeping) deadlock-free. The diff is computed and
+// n.applied updated optimistically under the lock; a failed or evicted
+// assign rolls its entry back, and undeliverable removes park in
+// pendingRemoves for retry next round.
 func (n *ControllerNode) pushPlacement() {
 	type removeOp struct {
 		agent *ctrlproto.Agent
@@ -436,6 +565,18 @@ func (n *ControllerNode) pushPlacement() {
 	var assigns []assignOp
 	n.mu.Lock()
 	want := n.ctl.Placement()
+	// Retry removals that previously failed to reach their agent; a cell
+	// routed back to the same server no longer needs one.
+	for cell, srv := range n.pendingRemoves {
+		if dst, ok := want[cell]; ok && dst == srv {
+			delete(n.pendingRemoves, cell)
+			continue
+		}
+		if agent, up := n.srv.Agent(uint32(srv)); up {
+			removes = append(removes, removeOp{agent, cell, srv})
+			delete(n.pendingRemoves, cell)
+		}
+	}
 	// Removals first (cells that moved or vanished).
 	for cell, oldSrv := range n.applied {
 		if newSrv, ok := want[cell]; !ok || newSrv != oldSrv {
@@ -467,7 +608,12 @@ func (n *ControllerNode) pushPlacement() {
 	for _, op := range removes {
 		if _, err := op.agent.RemoveCell(uint16(op.cell)); err != nil {
 			n.logf("controller: remove cell %d from %d: %v", op.cell, op.srv, err)
+			n.mu.Lock()
+			n.pendingRemoves[op.cell] = op.srv
+			n.mu.Unlock()
+			continue
 		}
+		n.removesSent.Inc(0)
 	}
 	for _, op := range assigns {
 		if _, err := op.agent.AssignCell(uint16(op.cell), op.spec.PCI, uint16(op.spec.Bandwidth.PRB()), uint8(op.spec.Antennas)); err != nil {
@@ -479,6 +625,7 @@ func (n *ControllerNode) pushPlacement() {
 			n.mu.Unlock()
 			continue
 		}
+		n.assignsSent.Inc(0)
 		// Ship the warm HARQ snapshot so soft combining resumes where the
 		// old host left off. A fresher snapshot relayed directly from the
 		// old host (if it is still up) supersedes this one on arrival.
@@ -503,54 +650,79 @@ func (n *ControllerNode) LeaseBudget() time.Duration { return n.leaseBudget }
 // ScrapeTelemetry asks every connected agent for its telemetry snapshot and
 // returns the cluster-wide merge (agent pool/cell metrics summed by name,
 // histograms merged bucket-wise, plus the controller's own cluster-state
-// metrics). It reports how many agents answered within the timeout; agents
-// running with telemetry disabled answer with an empty snapshot and still
-// count. A histogram spec mismatch between agents is returned as an error
-// (wrapping metrics.ErrSpecMismatch) rather than blending buckets.
+// metrics). The fan-in is fully concurrent: every agent is awaited and its
+// report decoded on its own goroutine against one shared deadline, so a
+// slow or wedged agent costs only its own slot of the budget, never the
+// whole scrape (it is simply not counted). It reports how many agents
+// answered within the timeout; agents running with telemetry disabled
+// answer with an empty snapshot and still count. A histogram spec mismatch
+// between agents is returned as an error (wrapping
+// metrics.ErrSpecMismatch) rather than blending buckets.
 func (n *ControllerNode) ScrapeTelemetry(timeout time.Duration) (telemetry.Snapshot, int, error) {
 	agents := n.srv.Agents()
-	chans := make(map[uint32]chan []byte, len(agents))
-	n.statsMu.Lock()
-	for _, a := range agents {
-		ch := make(chan []byte, 1)
-		n.statsPending[a.ID] = ch
-		chans[a.ID] = ch
+	deadline := time.Now().Add(timeout)
+	type scrapeResult struct {
+		id   uint32
+		snap telemetry.Snapshot
+		ok   bool // answered within the deadline
+		has  bool // carried a non-empty snapshot
+		err  error
 	}
-	n.statsMu.Unlock()
+	results := make(chan scrapeResult, len(agents))
 	for _, a := range agents {
-		if _, err := a.RequestStats(); err != nil {
-			n.statsMu.Lock()
-			delete(n.statsPending, a.ID)
-			n.statsMu.Unlock()
-			delete(chans, a.ID)
-			n.logf("controller: stats request to %d: %v", a.ID, err)
-		}
+		wait := make(chan []byte, 1)
+		sh := n.statsShardFor(a.ID)
+		sh.mu.Lock()
+		sh.pending[a.ID] = wait
+		sh.mu.Unlock()
+		go func(a *ctrlproto.Agent, wait chan []byte) {
+			clear := func() {
+				sh := n.statsShardFor(a.ID)
+				sh.mu.Lock()
+				if sh.pending[a.ID] == wait {
+					delete(sh.pending, a.ID)
+				}
+				sh.mu.Unlock()
+			}
+			if _, err := a.RequestStats(); err != nil {
+				clear()
+				n.logf("controller: stats request to %d: %v", a.ID, err)
+				results <- scrapeResult{id: a.ID}
+				return
+			}
+			select {
+			case data := <-wait:
+				if len(data) == 0 {
+					results <- scrapeResult{id: a.ID, ok: true}
+					return
+				}
+				snap, err := telemetry.DecodeSnapshot(data)
+				results <- scrapeResult{id: a.ID, ok: true, has: err == nil, snap: snap, err: err}
+			case <-time.After(time.Until(deadline)):
+				clear()
+				n.logf("controller: stats scrape of %d timed out", a.ID)
+				results <- scrapeResult{id: a.ID}
+			}
+		}(a, wait)
 	}
 
 	merged := n.reg.Snapshot()
 	reported := 0
-	deadline := time.Now().Add(timeout)
-	for id, ch := range chans {
-		var data []byte
-		select {
-		case data = <-ch:
-		case <-time.After(time.Until(deadline)):
-			n.statsMu.Lock()
-			delete(n.statsPending, id)
-			n.statsMu.Unlock()
-			n.logf("controller: stats scrape of %d timed out", id)
+	for range agents {
+		r := <-results
+		if !r.ok {
 			continue
 		}
 		reported++
-		if len(data) == 0 {
+		if r.err != nil {
+			return telemetry.Snapshot{}, reported, fmt.Errorf("node: agent %d: %w", r.id, r.err)
+		}
+		if !r.has {
 			continue // agent runs with telemetry disabled
 		}
-		snap, err := telemetry.DecodeSnapshot(data)
-		if err != nil {
-			return telemetry.Snapshot{}, reported, fmt.Errorf("node: agent %d: %w", id, err)
-		}
-		if merged, err = merged.Merge(snap); err != nil {
-			return telemetry.Snapshot{}, reported, fmt.Errorf("node: agent %d: %w", id, err)
+		var err error
+		if merged, err = merged.Merge(r.snap); err != nil {
+			return telemetry.Snapshot{}, reported, fmt.Errorf("node: agent %d: %w", r.id, err)
 		}
 	}
 	return merged, reported, nil

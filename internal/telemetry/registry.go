@@ -9,7 +9,7 @@
 // stopping it. Snapshot histograms export through metrics.HistogramState so
 // quantile math and cross-process merging reuse metrics.Histogram.
 //
-// # Shard model
+// # Concurrency and shard model
 //
 // Every metric is a vector of cache-line-padded atomic slots, one per shard.
 // A recorder passes its shard index (pool workers use their worker ID, the
