@@ -134,3 +134,12 @@ func BenchmarkE15_Recovery(b *testing.B) {
 func BenchmarkE16_Scale(b *testing.B) {
 	report(b, experiments.E16Scale)
 }
+
+// BenchmarkE17_BatchSpeedup regenerates the lockstep batch-decoding
+// measurement: raw turbo-kernel throughput at batch widths 1/2/4/8 vs the
+// scalar int16 kernel (bit-identity checked against the scalar oracle each
+// run), the end-to-end turbo-stage effect through a TransportProcessor, and
+// the feasibility frontier the recalibrated batched cost model buys.
+func BenchmarkE17_BatchSpeedup(b *testing.B) {
+	report(b, func(q bool) (experiments.Result, error) { return experiments.E17BatchSpeedup(q, 8) })
+}

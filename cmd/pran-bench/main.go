@@ -1,5 +1,5 @@
 // Command pran-bench regenerates the PRAN evaluation: every reconstructed
-// table and figure (E1–E16, indexed in DESIGN.md §4) as printable tables.
+// table and figure (E1–E17, indexed in DESIGN.md §4) as printable tables.
 //
 // Usage:
 //
@@ -8,6 +8,7 @@
 //	pran-bench -run E4        # one experiment
 //	pran-bench -list          # list experiment IDs
 //	pran-bench -json outdir   # additionally write BENCH_<id>.json per result
+//	pran-bench -batch 4       # cap E17's lockstep width sweep (1 = scalar only)
 //	pran-bench -telemetry     # dump the process telemetry snapshot after the run
 //	pran-bench -cpuprofile cpu.out -run E13   # profile one experiment
 package main
@@ -34,7 +35,8 @@ func main() {
 
 func run() int {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
-	runID := flag.String("run", "", "run a single experiment by ID (E1..E16)")
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E17)")
+	batchW := flag.Int("batch", 8, "maximum lockstep batch width E17 sweeps (1 = scalar baseline only)")
 	dumpTelemetry := flag.Bool("telemetry", false, "print the process-default telemetry snapshot after the run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonDir := flag.String("json", "", "directory to write per-experiment BENCH_<id>.json files (empty disables)")
@@ -62,6 +64,7 @@ func run() int {
 		{"E14", experiments.E14TelemetryOverhead},
 		{"E15", experiments.E15Recovery},
 		{"E16", experiments.E16Scale},
+		{"E17", func(q bool) (experiments.Result, error) { return experiments.E17BatchSpeedup(q, *batchW) }},
 	}
 
 	if *list {

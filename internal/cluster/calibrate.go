@@ -204,6 +204,35 @@ func Calibrate() (CostModel, error) {
 		if m.TurboPerBitIterI16, err = measure(phy.KernelInt16); err != nil {
 			return m, err
 		}
+
+		// Width-8 lockstep batch: eight lanes of the same block through
+		// phy.BatchDecoderI16 with the same fixed iteration count; the
+		// coefficient is per bit per iteration per lane.
+		{
+			const width = 8
+			bd, err := phy.NewBatchDecoderI16(k, width)
+			if err != nil {
+				return m, err
+			}
+			bd.MaxIterations = iters
+			blocks := make([][]byte, width)
+			bl0 := make([][]float32, width)
+			bl1 := make([][]float32, width)
+			bl2 := make([][]float32, width)
+			for b := 0; b < width; b++ {
+				blocks[b] = make([]byte, k)
+				bl0[b], bl1[b], bl2[b] = l0, l1, l2
+			}
+			never := func([]byte) bool { return false }
+			reps := 6
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if _, _, err := bd.Decode(blocks, bl0, bl1, bl2, never, nil); err != nil {
+					return m, err
+				}
+			}
+			m.TurboPerBitIterI16Batch = time.Since(start).Seconds() / float64(reps) / (k * iters * width)
+		}
 	}
 
 	// CRC per bit.

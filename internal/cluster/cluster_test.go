@@ -321,6 +321,58 @@ func TestCostModelFrontEndSelection(t *testing.T) {
 	}
 }
 
+func TestCostModelBatchSelection(t *testing.T) {
+	m := DefaultCostModel().WithKernel(phy.KernelInt16)
+	a := frame.Allocation{RNTI: 1, FirstPRB: 0, NumPRB: 100, MCS: 27, SNRdB: phy.MCS(27).OperatingSNR()}
+	// Cost must fall monotonically with the lockstep width and pin the two
+	// calibration endpoints: width 1 charges the scalar coefficient, width
+	// 8 (and beyond) the batched one.
+	prev := m.AllocCost(a)
+	if m.WithBatch(1).AllocCost(a) != prev {
+		t.Fatal("width 1 differs from the scalar int16 cost")
+	}
+	for _, w := range []int{2, 4, 8} {
+		c := m.WithBatch(w).AllocCost(a)
+		if c >= prev {
+			t.Fatalf("width %d cost %v not below previous %v", w, c, prev)
+		}
+		prev = c
+	}
+	if m.WithBatch(16).AllocCost(a) != m.WithBatch(8).AllocCost(a) {
+		t.Fatal("widths past the calibration endpoint must charge the width-8 coefficient")
+	}
+	// Batch is inert on the float32 kernel's coefficient switch, and the
+	// receiver keeps its width.
+	f := DefaultCostModel()
+	f.Batch = 8 // bypass WithBatch to probe turboCoeff in isolation
+	if f.AllocCost(a) != DefaultCostModel().AllocCost(a) {
+		t.Fatal("batch width changed the float32 cost")
+	}
+	derived := m.WithBatch(8)
+	if derived.Batch != 8 || m.Batch != 0 {
+		t.Fatal("WithBatch mutated the receiver")
+	}
+	// The parallel service-time model uses the same coefficient switch, and
+	// the batched frontier must beat the scalar one at 4-way parallelism:
+	// an MCS that misses the HARQ budget scalar must fit batched.
+	if bw, sw := m.WithBatch(8).AllocCostWorkers(a, 4), m.AllocCostWorkers(a, 4); bw >= sw {
+		t.Fatalf("batched parallel cost %v not below scalar %v", bw, sw)
+	}
+	// Validation: negative widths and batching the float32 kernel are
+	// configuration errors; a zero batch coefficient is invalid.
+	if err := m.WithBatch(-1).Validate(); err == nil {
+		t.Fatal("negative batch width accepted")
+	}
+	if err := DefaultCostModel().WithBatch(8).Validate(); err == nil {
+		t.Fatal("batched float32 model accepted")
+	}
+	bad := m
+	bad.TurboPerBitIterI16Batch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero TurboPerBitIterI16Batch accepted")
+	}
+}
+
 func TestCalibrateMeasuresBothKernels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("measured calibration")
@@ -332,6 +384,10 @@ func TestCalibrateMeasuresBothKernels(t *testing.T) {
 	if m.TurboPerBitIterI16 <= 0 || m.TurboPerBitIterI16 >= m.TurboPerBitIter {
 		t.Fatalf("calibrated int16 turbo coefficient %.3g not below float32 %.3g",
 			m.TurboPerBitIterI16, m.TurboPerBitIter)
+	}
+	if m.TurboPerBitIterI16Batch <= 0 || m.TurboPerBitIterI16Batch >= m.TurboPerBitIterI16 {
+		t.Fatalf("calibrated width-8 batch coefficient %.3g not below scalar int16 %.3g",
+			m.TurboPerBitIterI16Batch, m.TurboPerBitIterI16)
 	}
 	// The fused front-end coefficients must come out positive and below the
 	// staged per-RE totals they replace (demod + per-RE share of the

@@ -58,6 +58,11 @@ type CostModel struct {
 	// TurboPerBitIterI16 is the same coefficient measured with the
 	// quantized int16 kernel (phy.KernelInt16).
 	TurboPerBitIterI16 float64
+	// TurboPerBitIterI16Batch is the int16 coefficient measured with the
+	// width-8 lockstep batch kernel (phy.BatchDecoderI16): the per-bit,
+	// per-iteration, per-lane cost when eight same-size code blocks move
+	// through the SISO pipeline together. Charged via the Batch field.
+	TurboPerBitIterI16Batch float64
 	// CRCPerBit is the CRC verification cost per bit.
 	CRCPerBit float64
 	// EncodePerBit is the downlink encode-chain cost per information bit.
@@ -79,6 +84,13 @@ type CostModel struct {
 	// mirroring dataplane.Config.FrontEnd. Use WithFrontEnd to derive a
 	// model for the other front-end.
 	FrontEnd phy.FrontEnd
+	// Batch is the lockstep batch width the cost queries assume, mirroring
+	// dataplane.Config.DecodeBatch (0 or 1 = scalar per-block decode). It
+	// only affects the int16 kernel: the turbo coefficient interpolates
+	// between the scalar and width-8 calibration points on 1/width — the
+	// lockstep amortization is per-lane, so halving the width forfeits half
+	// of the width-8 saving. Use WithBatch to derive a batched model.
+	Batch int
 }
 
 // WithKernel returns a copy of the model whose cost queries charge turbo
@@ -95,13 +107,31 @@ func (m CostModel) WithFrontEnd(fe phy.FrontEnd) CostModel {
 	return m
 }
 
+// WithBatch returns a copy of the model whose cost queries charge turbo
+// decoding at lockstep batch width w (int16 kernel only; see Batch).
+func (m CostModel) WithBatch(w int) CostModel {
+	m.Batch = w
+	return m
+}
+
 // turboCoeff returns the per-bit-per-iteration turbo cost for the selected
-// kernel.
+// kernel and batch width.
 func (m CostModel) turboCoeff() float64 {
-	if m.Kernel == phy.KernelInt16 {
+	if m.Kernel != phy.KernelInt16 {
+		return m.TurboPerBitIter
+	}
+	w := m.Batch
+	if w <= 1 {
 		return m.TurboPerBitIterI16
 	}
-	return m.TurboPerBitIter
+	if w >= 8 {
+		return m.TurboPerBitIterI16Batch
+	}
+	// Hyperbolic interpolation between the scalar (w=1) and width-8
+	// calibration points: the batch saving is per-lane, so the coefficient
+	// tracks 1/w between the measured endpoints.
+	lam := (1/float64(w) - 1.0/8) / (1 - 1.0/8)
+	return lam*m.TurboPerBitIterI16 + (1-lam)*m.TurboPerBitIterI16Batch
 }
 
 // DefaultCostModel returns coefficients representative of a ~3 GHz x86 core
@@ -109,20 +139,21 @@ func (m CostModel) turboCoeff() float64 {
 // seconds per unit.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		FFTPerButterfly:    2.0e-9,
-		DemodPerREQPSK:     15e-9,
-		DemodPerRE16QAM:    25e-9,
-		DemodPerRE64QAM:    45e-9,
-		DescramblePerBit:   1.2e-9,
-		DematchPerBit:      2.5e-9,
-		FusedPerREQPSK:     11e-9,
-		FusedPerRE16QAM:    20e-9,
-		FusedPerRE64QAM:    33e-9,
-		TurboPerBitIter:    28e-9,
-		TurboPerBitIterI16: 9e-9,
-		CRCPerBit:          0.8e-9,
-		EncodePerBit:       12e-9,
-		DispatchPerBlock:   300e-9,
+		FFTPerButterfly:         2.0e-9,
+		DemodPerREQPSK:          15e-9,
+		DemodPerRE16QAM:         25e-9,
+		DemodPerRE64QAM:         45e-9,
+		DescramblePerBit:        1.2e-9,
+		DematchPerBit:           2.5e-9,
+		FusedPerREQPSK:          11e-9,
+		FusedPerRE16QAM:         20e-9,
+		FusedPerRE64QAM:         33e-9,
+		TurboPerBitIter:         28e-9,
+		TurboPerBitIterI16:      9e-9,
+		TurboPerBitIterI16Batch: 2.4e-9,
+		CRCPerBit:               0.8e-9,
+		EncodePerBit:            12e-9,
+		DispatchPerBlock:        300e-9,
 	}
 }
 
@@ -132,7 +163,7 @@ func (m CostModel) Validate() error {
 		m.FFTPerButterfly, m.DemodPerREQPSK, m.DemodPerRE16QAM, m.DemodPerRE64QAM,
 		m.DescramblePerBit, m.DematchPerBit,
 		m.FusedPerREQPSK, m.FusedPerRE16QAM, m.FusedPerRE64QAM,
-		m.TurboPerBitIter, m.TurboPerBitIterI16,
+		m.TurboPerBitIter, m.TurboPerBitIterI16, m.TurboPerBitIterI16Batch,
 		m.CRCPerBit, m.EncodePerBit, m.DispatchPerBlock,
 	} {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
@@ -141,6 +172,12 @@ func (m CostModel) Validate() error {
 	}
 	if err := m.FrontEnd.Validate(); err != nil {
 		return fmt.Errorf("cluster: %w", err)
+	}
+	if m.Batch < 0 {
+		return fmt.Errorf("cluster: negative batch width %d: %w", m.Batch, phy.ErrBadParameter)
+	}
+	if m.Batch > 1 && m.Kernel != phy.KernelInt16 {
+		return fmt.Errorf("cluster: batch width %d requires the int16 kernel: %w", m.Batch, phy.ErrBadParameter)
 	}
 	return nil
 }

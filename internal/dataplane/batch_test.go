@@ -1,0 +1,193 @@
+package dataplane
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"testing"
+
+	"pran/internal/frame"
+	"pran/internal/phy"
+	"pran/internal/telemetry"
+)
+
+func TestEndToEndCrossTaskBatching(t *testing.T) {
+	// Five same-shape allocations plus one odd one out, with the single
+	// worker stalled on its first task so the rest pile up in the queue:
+	// the worker's next claim must batch the queued same-shape tasks into
+	// one joint decode. endToEnd verifies every payload against the
+	// transmitted ground truth, and the telemetry must show a full flush.
+	reg := telemetry.New(4)
+	var stall sync.Once
+	pool := testPool(t, Config{
+		Workers: 1, DecodeWorkers: 2,
+		DecodeKernel: phy.KernelInt16, DecodeBatch: 8, BatchTasks: 4,
+		Policy: EDF, DeadlineScale: 1000, Telemetry: reg,
+		FaultHook: func(worker int) error {
+			stall.Do(func() { time.Sleep(20 * time.Millisecond) })
+			return nil
+		},
+	})
+	same := frame.Allocation{NumPRB: 1, MCS: 14, SNRdB: phy.MCS(14).OperatingSNR() + 4}
+	work := frame.SubframeWork{Cell: 1, TTI: 42}
+	for i := 0; i < 5; i++ {
+		a := same
+		a.RNTI = frame.RNTI(100 + i)
+		a.FirstPRB = i
+		work.Allocations = append(work.Allocations, a)
+	}
+	work.Allocations = append(work.Allocations, frame.Allocation{
+		RNTI: 200, FirstPRB: 5, NumPRB: 1, MCS: 6, SNRdB: phy.MCS(6).OperatingSNR() + 4,
+	})
+	done := endToEnd(t, pool, work)
+	if len(done) != 6 {
+		t.Fatalf("%d tasks done", len(done))
+	}
+	for _, tk := range done {
+		if tk.Err != nil {
+			t.Fatalf("rnti %d: %v", tk.Alloc.RNTI, tk.Err)
+		}
+		if tk.TurboIterations < 1 {
+			t.Fatalf("rnti %d: iterations not recorded", tk.Alloc.RNTI)
+		}
+	}
+	snap := reg.Snapshot()
+	hist, ok := snap.Histogram(MetricBatchWidth)
+	if !ok || hist.State.Count == 0 {
+		t.Fatal("batch width histogram not recorded")
+	}
+	full := snap.Counter(MetricBatchFlushFull)
+	ragged := snap.Counter(MetricBatchFlushRagged)
+	if full < 1 {
+		t.Fatalf("expected at least one full flush (full=%d ragged=%d)", full, ragged)
+	}
+	if full+ragged != hist.State.Count {
+		t.Fatalf("flush counters %d+%d disagree with %d width observations", full, ragged, hist.State.Count)
+	}
+}
+
+func TestCrossTaskBatchingManySubframes(t *testing.T) {
+	// Race-detector target for the batched composition: several workers
+	// with joint decoders and lockstep kernels chewing a stream of
+	// subframes whose allocations mostly share one shape.
+	pool := testPool(t, Config{
+		Workers: 2, DecodeWorkers: 2,
+		DecodeKernel: phy.KernelInt16, DecodeBatch: 8, BatchTasks: 3,
+		Policy: EDF, DeadlineScale: 1000,
+	})
+	subframes := 5
+	if testing.Short() {
+		subframes = 2
+	}
+	for s := 0; s < subframes; s++ {
+		work := frame.SubframeWork{Cell: 1, TTI: frame.TTI(s)}
+		for i := 0; i < 4; i++ {
+			work.Allocations = append(work.Allocations, frame.Allocation{
+				RNTI: frame.RNTI(100 + i), FirstPRB: i, NumPRB: 1, MCS: 12,
+				SNRdB: phy.MCS(12).OperatingSNR() + 4,
+			})
+		}
+		done := endToEnd(t, pool, work)
+		for _, tk := range done {
+			if tk.Err != nil {
+				t.Fatalf("subframe %d rnti %d: %v", s, tk.Alloc.RNTI, tk.Err)
+			}
+		}
+	}
+}
+
+func TestBatchingNaiveAlloc(t *testing.T) {
+	// The GC-pressure ablation composes with batching: fresh per-slot
+	// processors are built for each joint dispatch and closed after it.
+	pool := testPool(t, Config{
+		Workers: 1, DecodeKernel: phy.KernelInt16, DecodeBatch: 4, BatchTasks: 2,
+		Policy: EDF, DeadlineScale: 1000, NaiveAlloc: true,
+	})
+	work := frame.SubframeWork{
+		Cell: 1, TTI: 9,
+		Allocations: []frame.Allocation{
+			{RNTI: 100, FirstPRB: 0, NumPRB: 3, MCS: 10, SNRdB: phy.MCS(10).OperatingSNR() + 4},
+			{RNTI: 101, FirstPRB: 3, NumPRB: 3, MCS: 10, SNRdB: phy.MCS(10).OperatingSNR() + 4},
+		},
+	}
+	done := endToEnd(t, pool, work)
+	if len(done) != 2 {
+		t.Fatalf("%d tasks done", len(done))
+	}
+	for _, tk := range done {
+		if tk.Err != nil {
+			t.Fatalf("rnti %d: %v", tk.Alloc.RNTI, tk.Err)
+		}
+	}
+}
+
+func TestTakeMatchGroupsSameShape(t *testing.T) {
+	q := taskQueue{}
+	now := time.Now()
+	mk := func(rnti int, mcs phy.MCS, nprb int, dl time.Duration) *Task {
+		return &Task{Deadline: now.Add(dl), Alloc: frame.Allocation{RNTI: frame.RNTI(rnti), MCS: mcs, NumPRB: nprb}}
+	}
+	a := mk(1, 14, 4, 1*time.Millisecond)
+	b := mk(2, 6, 4, 2*time.Millisecond)  // different MCS
+	c := mk(3, 14, 2, 3*time.Millisecond) // different width
+	d := mk(4, 14, 4, 4*time.Millisecond) // match, queued before e
+	e := mk(5, 14, 4, 5*time.Millisecond) // match
+	dl := mk(6, 14, 4, 6*time.Millisecond)
+	dl.runInstead = func(w *worker, t *Task) {} // custom work never joins
+	for _, tk := range []*Task{a, b, c, d, e, dl} {
+		q.push(tk)
+	}
+	lead := q.pop()
+	if lead != a {
+		t.Fatalf("EDF pop = rnti %d, want 1", lead.Alloc.RNTI)
+	}
+	if m := q.takeMatch(lead); m != d {
+		t.Fatalf("first match rnti %v, want 4", m.Alloc.RNTI)
+	}
+	if m := q.takeMatch(lead); m != e {
+		t.Fatalf("second match rnti %v, want 5", m.Alloc.RNTI)
+	}
+	if m := q.takeMatch(lead); m != nil {
+		t.Fatalf("unexpected third match rnti %v", m.Alloc.RNTI)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("queue len %d, want 3", q.Len())
+	}
+	// The heap must still pop in deadline order after the removals.
+	if q.pop() != b || q.pop() != c || q.pop() != dl {
+		t.Fatal("heap order broken after takeMatch removals")
+	}
+}
+
+func TestConfigBatchValidation(t *testing.T) {
+	base := Config{Workers: 1, DeadlineScale: 1}
+	cfg := base
+	cfg.DecodeBatch = -1
+	if err := cfg.Validate(); !errors.Is(err, phy.ErrBadParameter) {
+		t.Fatal("negative DecodeBatch accepted")
+	}
+	cfg = base
+	cfg.DecodeBatch = 8 // float32 kernel (zero value) cannot batch
+	if err := cfg.Validate(); !errors.Is(err, phy.ErrBadParameter) {
+		t.Fatal("float32 batched decode accepted")
+	}
+	cfg = base
+	cfg.BatchTasks = -1
+	if err := cfg.Validate(); !errors.Is(err, phy.ErrBadParameter) {
+		t.Fatal("negative BatchTasks accepted")
+	}
+	cfg = base
+	cfg.BatchTasks = 2
+	cfg.FrontEnd = phy.FrontEndStaged
+	if err := cfg.Validate(); !errors.Is(err, phy.ErrBadParameter) {
+		t.Fatal("staged front-end with cross-task batching accepted")
+	}
+	cfg = base
+	cfg.DecodeKernel = phy.KernelInt16
+	cfg.DecodeBatch = 8
+	cfg.BatchTasks = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid batched config rejected: %v", err)
+	}
+}

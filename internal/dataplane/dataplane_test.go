@@ -111,6 +111,9 @@ func endToEnd(t *testing.T, pool *Pool, work frame.SubframeWork) []*Task {
 	var wg sync.WaitGroup
 	wg.Add(len(work.Allocations))
 	err = cp.IngestSubframe(samples, work, func(tk *Task) {
+		// Payload aliases worker-owned memory; snapshot it before the worker
+		// reuses the processor for a later task.
+		tk.Payload = append([]byte(nil), tk.Payload...)
 		mu.Lock()
 		done = append(done, tk)
 		mu.Unlock()

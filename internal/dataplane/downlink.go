@@ -162,7 +162,7 @@ func EncodeOnPool(pool *Pool, cell frame.CellConfig, work frame.SubframeWork, pa
 			Deadline: txDeadline,
 			runInstead: func(w *worker, t *Task) {
 				start := time.Now()
-				proc, err := w.processor(dl.Alloc.MCS, dl.Alloc.NumPRB)
+				proc, err := w.processor(dl.Alloc.MCS, dl.Alloc.NumPRB, 0)
 				if err != nil {
 					dl.Err = err
 					return

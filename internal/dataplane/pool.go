@@ -65,6 +65,20 @@ type Config struct {
 	// phy.FrontEndStaged is the three-sweep reference pipeline. Decoded
 	// output is bit-identical either way.
 	FrontEnd phy.FrontEnd
+	// DecodeBatch, when ≥ 2, turbo-decodes code blocks through width-
+	// DecodeBatch lockstep batch kernels (phy.BatchDecoderI16) instead of
+	// one scalar decode per block. Requires DecodeKernel == phy.KernelInt16;
+	// output is bit-identical to the scalar path. 0 or 1 keeps scalar
+	// decoding.
+	DecodeBatch int
+	// BatchTasks, when ≥ 2, enables cross-codeword batching: a worker
+	// claiming an uplink task also claims up to BatchTasks-1 further queued
+	// tasks with the same (MCS, NumPRB) shape — across cells — and decodes
+	// all of them in one joint fan-out, so lockstep batches span transport-
+	// block boundaries and the per-pass kernel overheads amortize across
+	// UEs. CRC failures stay isolated per transport block. Requires the
+	// fused front-end. 0 or 1 decodes one task at a time.
+	BatchTasks int
 	// Policy selects EDF or FIFO dispatch.
 	Policy SchedPolicy
 	// DeadlineScale stretches the HARQ budget to compensate for unoptimized
@@ -110,6 +124,18 @@ func (c Config) Validate() error {
 	if err := c.FrontEnd.Validate(); err != nil {
 		return fmt.Errorf("dataplane: %w", err)
 	}
+	if c.DecodeBatch < 0 {
+		return fmt.Errorf("dataplane: %d decode batch width: %w", c.DecodeBatch, phy.ErrBadParameter)
+	}
+	if c.DecodeBatch > 1 && c.DecodeKernel != phy.KernelInt16 {
+		return fmt.Errorf("dataplane: batched decode requires the int16 kernel: %w", phy.ErrBadParameter)
+	}
+	if c.BatchTasks < 0 {
+		return fmt.Errorf("dataplane: %d batch tasks: %w", c.BatchTasks, phy.ErrBadParameter)
+	}
+	if c.BatchTasks > 1 && c.FrontEnd != phy.FrontEndFused {
+		return fmt.Errorf("dataplane: cross-task batching requires the fused front-end: %w", phy.ErrBadParameter)
+	}
 	if c.DeadlineScale <= 0 {
 		return fmt.Errorf("dataplane: deadline scale %v: %w", c.DeadlineScale, phy.ErrBadParameter)
 	}
@@ -127,6 +153,22 @@ func (c Config) decodeWorkers() int {
 		return 1
 	}
 	return c.DecodeWorkers
+}
+
+// decodeBatch normalizes the lockstep width (0 means scalar).
+func (c Config) decodeBatch() int {
+	if c.DecodeBatch < 1 {
+		return 1
+	}
+	return c.DecodeBatch
+}
+
+// batchTasks normalizes the cross-task batching limit (0 means off).
+func (c Config) batchTasks() int {
+	if c.BatchTasks < 1 {
+		return 1
+	}
+	return c.BatchTasks
 }
 
 // Stats aggregates pool-level counters. Retrieve a snapshot with
@@ -271,19 +313,38 @@ func (p *Pool) Close() error {
 	return nil
 }
 
-// next blocks for the next task or returns nil when the pool is closed and
-// drained.
-func (p *Pool) next() *Task {
+// nextGroup blocks for the next task group or returns nil when the pool is
+// closed and drained. Without cross-task batching every group is a single
+// task. With Config.BatchTasks ≥ 2, claiming an uplink decode task also
+// claims up to BatchTasks-1 further queued uplink tasks of the same
+// (MCS, NumPRB) shape — those decode jointly on the claiming worker, so the
+// lockstep kernel sees batches spanning transport blocks. The extra claims
+// take same-shape tasks in queue order regardless of deadline rank: they
+// were going to be decoded anyway, and riding an already-paid batch pass is
+// never slower than waiting for their own turn. buf backs the returned
+// slice (worker-owned scratch, so claiming allocates nothing).
+func (p *Pool) nextGroup(buf []*Task) []*Task {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
 		if p.queue.Len() > 0 {
 			t := p.queue.pop()
 			p.inflight++
+			buf = append(buf[:0], t)
+			if limit := p.cfg.batchTasks(); limit > 1 && t.joinable() {
+				for len(buf) < limit {
+					m := p.queue.takeMatch(t)
+					if m == nil {
+						break
+					}
+					p.inflight++
+					buf = append(buf, m)
+				}
+			}
 			if p.tel != nil {
 				p.tel.queueDepth.Set(int64(p.queue.Len()))
 			}
-			return t
+			return buf
 		}
 		if p.closed {
 			return nil

@@ -98,6 +98,16 @@ type Task struct {
 // deadline.
 func (t *Task) Missed() bool { return t.Finished.After(t.Deadline) }
 
+// joinable reports whether the task can ride a cross-codeword batch: only
+// plain uplink decodes pool (custom work functions run alone).
+func (t *Task) joinable() bool { return t.runInstead == nil }
+
+// sameShape reports whether two tasks decode identically-shaped transport
+// blocks — the grouping key for cross-codeword batching.
+func (t *Task) sameShape(o *Task) bool {
+	return t.Alloc.MCS == o.Alloc.MCS && t.Alloc.NumPRB == o.Alloc.NumPRB
+}
+
 // Latency returns enqueue-to-finish latency.
 func (t *Task) Latency() time.Duration { return t.Finished.Sub(t.Enqueued) }
 
@@ -154,3 +164,23 @@ func (q *taskQueue) Pop() any {
 // push/pop wrappers keep heap usage local.
 func (q *taskQueue) push(t *Task) { heap.Push(q, t) }
 func (q *taskQueue) pop() *Task   { return heap.Pop(q).(*Task) }
+
+// takeMatch removes and returns the earliest-queued joinable task with the
+// same transport-block shape as t, or nil. The linear scan is over the heap
+// array (queue depths are tens of tasks at the operating points the
+// experiments run), and removal reuses the heap's sift machinery.
+func (q *taskQueue) takeMatch(t *Task) *Task {
+	best := -1
+	for i, c := range q.items {
+		if !c.joinable() || !c.sameShape(t) {
+			continue
+		}
+		if best < 0 || q.seqs[i] < q.seqs[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return heap.Remove(q, best).(*Task)
+}

@@ -42,7 +42,24 @@ const (
 	MetricStageTurbo = "pool.stage_turbo_s"
 	// MetricStageCRC is the desegment+CRC stage histogram (seconds).
 	MetricStageCRC = "pool.stage_crc_s"
+	// MetricBatchWidth is the cross-codeword batching width histogram: the
+	// number of same-shape uplink tasks each joint dispatch claimed
+	// (recorded only when Config.BatchTasks ≥ 2). Width 1 means a task
+	// found no batch partners in the queue.
+	MetricBatchWidth = "dataplane.batch_width"
+	// MetricBatchFlushFull counts joint dispatches that claimed a full
+	// BatchTasks-wide group.
+	MetricBatchFlushFull = "dataplane.batch_flush_full"
+	// MetricBatchFlushRagged counts joint dispatches that went out ragged —
+	// fewer same-shape tasks were queued than the batch limit, so the
+	// dispatch flushed early rather than hold tasks against their HARQ
+	// deadline.
+	MetricBatchFlushRagged = "dataplane.batch_flush_ragged"
 )
+
+// batchWidthMax is the batch-width histogram's upper bound; widths are
+// small integers, so a coarse log-scale range keeps the buckets dense.
+const batchWidthMax = 64
 
 // CellMetricTasks returns the per-cell ingest counter name.
 func CellMetricTasks(cell frame.CellID) string {
@@ -73,11 +90,15 @@ type poolTelemetry struct {
 	busyNanos  *telemetry.Counter
 	queueDepth *telemetry.Gauge
 
-	latency  *telemetry.Histogram
-	procTime *telemetry.Histogram
-	frontEnd *telemetry.Histogram
-	turbo    *telemetry.Histogram
-	crc      *telemetry.Histogram
+	latency    *telemetry.Histogram
+	procTime   *telemetry.Histogram
+	frontEnd   *telemetry.Histogram
+	turbo      *telemetry.Histogram
+	crc        *telemetry.Histogram
+	batchWidth *telemetry.Histogram
+
+	batchFull   *telemetry.Counter
+	batchRagged *telemetry.Counter
 }
 
 // newPoolTelemetry resolves the pool's metric handles against reg.
@@ -98,6 +119,9 @@ func newPoolTelemetry(reg *telemetry.Registry, workers int) *poolTelemetry {
 		frontEnd:    reg.LatencyHistogram(MetricStageFrontEnd),
 		turbo:       reg.LatencyHistogram(MetricStageTurbo),
 		crc:         reg.LatencyHistogram(MetricStageCRC),
+		batchWidth:  reg.Histogram(MetricBatchWidth, 1, batchWidthMax, 32),
+		batchFull:   reg.Counter(MetricBatchFlushFull),
+		batchRagged: reg.Counter(MetricBatchFlushRagged),
 	}
 }
 

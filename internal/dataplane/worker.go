@@ -8,17 +8,31 @@ import (
 
 // worker owns per-configuration DSP state so the steady-state decode path
 // never allocates. One worker maps to one dedicated core in the PRAN model;
-// with Config.DecodeWorkers > 1 each cached processor additionally keeps
-// DecodeWorkers-1 resident turbo-decode helpers, so a busy worker occupies
-// up to DecodeWorkers cores during the turbo stage. All processor state is
+// with Config.DecodeWorkers > 1 each cached processor (or, under cross-task
+// batching, the worker's joint decoder) additionally keeps DecodeWorkers-1
+// resident turbo-decode helpers, so a busy worker occupies up to
+// DecodeWorkers cores during the turbo stage. All processor state is
 // private to this worker's goroutine — only the parallel decoder's internal
 // fan-out (documented on phy.ParallelDecoder) crosses goroutines.
 type worker struct {
 	pool *Pool
 	id   int
 	// procs caches transport processors keyed by (MCS, NumPRB); nil when
-	// the pool runs in NaiveAlloc mode.
-	procs map[procKey]*phy.TransportProcessor
+	// the pool runs in NaiveAlloc mode. With cross-task batching each key
+	// holds one serial processor per potential batch slot (a joint decode
+	// needs a distinct processor per transport block); otherwise the slice
+	// has exactly one fully-configured processor.
+	procs map[procKey][]*phy.TransportProcessor
+	// joints caches joint decoders keyed by turbo block size K, created
+	// only when Config.BatchTasks ≥ 2. The joint decoder carries the
+	// worker's decode parallelism and lockstep batch width; the per-slot
+	// processors above are serial.
+	joints map[int]*phy.JointDecoder
+
+	// Claim/dispatch scratch, reused across groups.
+	group []*Task
+	live  []*Task
+	reqs  []phy.DecodeRequest
 }
 
 type procKey struct {
@@ -29,76 +43,148 @@ type procKey struct {
 func newWorker(p *Pool, id int) *worker {
 	w := &worker{pool: p, id: id}
 	if !p.cfg.NaiveAlloc {
-		w.procs = make(map[procKey]*phy.TransportProcessor)
+		w.procs = make(map[procKey][]*phy.TransportProcessor)
+	}
+	if p.cfg.batchTasks() > 1 {
+		w.joints = make(map[int]*phy.JointDecoder)
 	}
 	return w
 }
 
-// processor returns a transport processor for the configuration, cached per
-// worker unless the GC-pressure ablation is on. In NaiveAlloc mode the
-// caller owns the returned processor and must Close it after use (the
-// cached ones are closed when the worker exits).
-func (w *worker) processor(mcs phy.MCS, nprb int) (*phy.TransportProcessor, error) {
-	opts := phy.ProcOptions{
-		Workers:  w.pool.cfg.decodeWorkers(),
-		Kernel:   w.pool.cfg.DecodeKernel,
-		FrontEnd: w.pool.cfg.FrontEnd,
+// batching reports whether this worker decodes uplink tasks through its
+// joint decoder (cross-task batching enabled).
+func (w *worker) batching() bool { return w.joints != nil }
+
+// procOptions returns the construction options for this worker's
+// processors. Under cross-task batching the processors are serial — the
+// joint decoder supplies the worker/batch fan-out.
+func (w *worker) procOptions() phy.ProcOptions {
+	cfg := w.pool.cfg
+	opts := phy.ProcOptions{Kernel: cfg.DecodeKernel, FrontEnd: cfg.FrontEnd}
+	if !w.batching() {
+		opts.Workers = cfg.decodeWorkers()
+		opts.Batch = cfg.decodeBatch()
 	}
+	return opts
+}
+
+// processor returns slot n's transport processor for the configuration,
+// cached per worker unless the GC-pressure ablation is on. In NaiveAlloc
+// mode the caller owns the returned processor and must Close it after use
+// (the cached ones are closed when the worker exits). The solo decode and
+// downlink-encode paths use slot 0; joint decodes use one slot per
+// transport block in the batch.
+func (w *worker) processor(mcs phy.MCS, nprb, n int) (*phy.TransportProcessor, error) {
+	opts := w.procOptions()
 	if w.procs == nil {
 		return phy.NewTransportProcessorOpts(mcs, nprb, opts)
 	}
 	key := procKey{mcs, nprb}
-	if p, ok := w.procs[key]; ok {
-		return p, nil
+	s := w.procs[key]
+	for len(s) <= n {
+		p, err := phy.NewTransportProcessorOpts(mcs, nprb, opts)
+		if err != nil {
+			return nil, err
+		}
+		s = append(s, p)
+		w.procs[key] = s
 	}
-	p, err := phy.NewTransportProcessorOpts(mcs, nprb, opts)
+	return s[n], nil
+}
+
+// joint returns the worker's joint decoder for turbo block size k, creating
+// it on first use.
+func (w *worker) joint(k int) (*phy.JointDecoder, error) {
+	if jd, ok := w.joints[k]; ok {
+		return jd, nil
+	}
+	cfg := w.pool.cfg
+	jd, err := phy.NewJointDecoder(k, phy.ParallelOptions{
+		Workers: cfg.decodeWorkers(), Kernel: cfg.DecodeKernel, Batch: cfg.decodeBatch(),
+	})
 	if err != nil {
 		return nil, err
 	}
-	w.procs[key] = p
-	return p, nil
+	w.joints[k] = jd
+	return jd, nil
 }
 
 func (w *worker) run() {
 	defer w.pool.wg.Done()
 	defer func() {
-		// Release the resident decode helpers of cached parallel processors.
-		for _, p := range w.procs {
-			p.Close()
+		// Release the resident decode helpers of cached parallel processors
+		// and joint decoders.
+		for _, s := range w.procs {
+			for _, p := range s {
+				p.Close()
+			}
+		}
+		for _, jd := range w.joints {
+			jd.Close()
 		}
 	}()
 	for {
-		t := w.pool.next()
-		if t == nil {
+		group := w.pool.nextGroup(w.group)
+		if group == nil {
 			return
 		}
-		w.execute(t)
-		w.pool.finish(t, w.id)
+		w.group = group[:0] // retain the (possibly grown) backing array
+		if w.batching() && group[0].joinable() {
+			w.executeJoint(group)
+		} else {
+			// Non-joinable tasks (custom work functions) always claim alone.
+			w.execute(group[0])
+		}
+		for _, t := range group {
+			w.pool.finish(t, w.id)
+		}
 	}
 }
 
-// execute runs the uplink decode for one task.
-func (w *worker) execute(t *Task) {
-	now := time.Now()
+// admit runs the per-task admission steps (deadline abandon, fault hook)
+// and reports whether the task should be processed.
+func (w *worker) admit(t *Task, now time.Time) bool {
 	if w.pool.cfg.AbandonLate && now.After(t.Deadline) {
 		t.Err = ErrAbandoned
 		t.Finished = now
-		return
+		return false
 	}
 	t.Started = now
 	if hook := w.pool.cfg.FaultHook; hook != nil {
 		if err := hook(w.id); err != nil {
 			t.Err = err
 			t.Finished = time.Now()
-			return
+			return false
 		}
+	}
+	return true
+}
+
+// recordStages feeds the per-stage histograms from a processor's most
+// recent decode.
+func (w *worker) recordStages(tm phy.StageTimings) {
+	if tel := w.pool.tel; tel != nil {
+		// Under the fused+parallel overlap (and under joint decoding)
+		// per-block front-ends fold into TurboDecode (see phy.StageTimings),
+		// so the front-end histogram records 0 there rather than a
+		// fabricated split.
+		tel.frontEnd.ObserveDuration(w.id, tm.Demodulate+tm.Descramble+tm.Dematch+tm.FrontEnd)
+		tel.turbo.ObserveDuration(w.id, tm.TurboDecode)
+		tel.crc.ObserveDuration(w.id, tm.CRCCheck)
+	}
+}
+
+// execute runs the uplink decode for one task.
+func (w *worker) execute(t *Task) {
+	if !w.admit(t, time.Now()) {
+		return
 	}
 	if t.runInstead != nil {
 		t.runInstead(w, t)
 		t.Finished = time.Now()
 		return
 	}
-	proc, err := w.processor(t.Alloc.MCS, t.Alloc.NumPRB)
+	proc, err := w.processor(t.Alloc.MCS, t.Alloc.NumPRB, 0)
 	if err != nil {
 		t.Err = err
 		t.Finished = time.Now()
@@ -112,13 +198,75 @@ func (w *worker) execute(t *Task) {
 	t.Err = err
 	t.TurboIterations = proc.Timings.TurboIterations
 	t.Finished = time.Now()
+	w.recordStages(proc.Timings)
+}
+
+// executeJoint decodes a claimed group of same-shape uplink tasks in one
+// joint fan-out, so lockstep batches span the group's transport blocks.
+// Group width 1 still routes through the joint decoder — that is where this
+// worker's decode parallelism and lockstep width live.
+func (w *worker) executeJoint(group []*Task) {
+	now := time.Now()
 	if tel := w.pool.tel; tel != nil {
-		// Under the fused+parallel overlap per-block front-ends fold into
-		// TurboDecode (see phy.StageTimings), so the front-end histogram
-		// records 0 there rather than a fabricated split.
-		tm := proc.Timings
-		tel.frontEnd.ObserveDuration(w.id, tm.Demodulate+tm.Descramble+tm.Dematch+tm.FrontEnd)
-		tel.turbo.ObserveDuration(w.id, tm.TurboDecode)
-		tel.crc.ObserveDuration(w.id, tm.CRCCheck)
+		tel.batchWidth.Observe(w.id, float64(len(group)))
+		if len(group) >= w.pool.cfg.batchTasks() {
+			tel.batchFull.Inc(w.id)
+		} else {
+			tel.batchRagged.Inc(w.id)
+		}
+	}
+	live, reqs := w.live[:0], w.reqs[:0]
+	defer func() {
+		for i := range reqs {
+			reqs[i] = phy.DecodeRequest{}
+		}
+		w.live, w.reqs = live[:0], reqs[:0]
+	}()
+	for _, t := range group {
+		if w.admit(t, now) {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	failAll := func(err error) {
+		fin := time.Now()
+		for _, t := range live {
+			t.Err = err
+			t.Finished = fin
+		}
+	}
+	for n, t := range live {
+		proc, err := w.processor(t.Alloc.MCS, t.Alloc.NumPRB, n)
+		if err != nil {
+			failAll(err)
+			return
+		}
+		reqs = append(reqs, phy.DecodeRequest{
+			P: proc, RX: t.REs, N0: t.N0,
+			RNTI: uint16(t.Alloc.RNTI), CellID: t.PCI, Subframe: t.TTI.Subframe(),
+			RV: int(t.Alloc.RV), SB: t.Soft,
+		})
+	}
+	jd, err := w.joint(reqs[0].P.CodeBlockSize())
+	if err != nil {
+		failAll(err)
+		return
+	}
+	// A call-level DecodeJoint error lands in every request's Err field,
+	// so the per-task copy below propagates both outcomes.
+	_ = jd.DecodeJoint(reqs)
+	fin := time.Now()
+	for n, t := range live {
+		r := &reqs[n]
+		t.Payload, t.Err, t.TurboIterations = r.Payload, r.Err, r.Iters
+		t.Finished = fin
+		w.recordStages(r.P.Timings)
+	}
+	if w.procs == nil {
+		for i := range reqs {
+			reqs[i].P.Close()
+		}
 	}
 }

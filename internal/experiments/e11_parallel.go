@@ -31,7 +31,7 @@ func E11ParallelSpeedup(quick bool) (Result, error) {
 	res := Result{
 		ID:      "E11",
 		Title:   "Parallel code-block decoding: speedup vs workers and the deadline-feasibility frontier",
-		Header:  []string{"workers", "t@mcs22(ms)", "t@mcs28(ms)", "speedup@mcs28", "model-feasible-mcs@2ms", "model-t@mcs28(ms)"},
+		Header:  []string{"workers", "t@mcs22(ms)", "t@mcs28(ms)", "speedup@mcs28", "model-feasible-mcs@2ms", "feasible-mcs@i16-batch8", "model-t@mcs28(ms)"},
 		Metrics: map[string]float64{},
 	}
 	m := cluster.DefaultCostModel()
@@ -51,6 +51,7 @@ func E11ParallelSpeedup(quick bool) (Result, error) {
 		}
 		speedup := serial28 / sec28
 		frontier := feasibleMCS(m, w)
+		frontierBatch := feasibleMCS(m.WithKernel(phy.KernelInt16).WithBatch(8), w)
 		model28 := m.AllocCostWorkers(alloc100(28), w).Seconds()
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("%d", w),
@@ -58,15 +59,18 @@ func E11ParallelSpeedup(quick bool) (Result, error) {
 			ms(sec28),
 			fmt.Sprintf("%.2fx", speedup),
 			fmt.Sprintf("%d", frontier),
+			fmt.Sprintf("%d", frontierBatch),
 			ms(model28),
 		})
 		res.Metrics[fmt.Sprintf("speedup_w%d_mcs28", w)] = speedup
 		res.Metrics[fmt.Sprintf("feasible_mcs_w%d", w)] = float64(frontier)
+		res.Metrics[fmt.Sprintf("feasible_mcs_w%d_i16_batch8", w)] = float64(frontierBatch)
 		res.Metrics[fmt.Sprintf("model_mcs28_w%d_ms", w)] = model28 * 1e3
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("measured on GOMAXPROCS=%d; speedup saturates at min(cores, code blocks) — rerun on a multi-core host for the full curve", runtime.GOMAXPROCS(0)),
 		"feasibility frontier: highest MCS whose 100-PRB decode fits the 2 ms HARQ compute budget on the reference-core cost model (DefaultCostModel)",
+		"feasible-mcs@i16-batch8: the same frontier on the recalibrated int16 model at lockstep batch width 8 (E17) — the batched kernel moves the 4-worker frontier",
 		"cost-model mirror: serial stages + turbo makespan ceil(C/workers) + dispatch overhead (cluster.CostModel.AllocCostWorkers)")
 	return res, nil
 }

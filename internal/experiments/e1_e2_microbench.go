@@ -17,7 +17,13 @@ import (
 // front-end (experiments that attribute cost to individual pre-turbo stages
 // pin FrontEndStaged, since the fused pass reports one combined time).
 func measureDecode(mcs phy.MCS, nprb, reps int, seed int64, workers int, kernel phy.DecodeKernel, fe phy.FrontEnd) (phy.StageTimings, error) {
-	proc, err := phy.NewTransportProcessorOpts(mcs, nprb, phy.ProcOptions{Workers: workers, Kernel: kernel, FrontEnd: fe})
+	return measureDecodeOpts(mcs, nprb, reps, seed, phy.ProcOptions{Workers: workers, Kernel: kernel, FrontEnd: fe})
+}
+
+// measureDecodeOpts is measureDecode with the full processor option set
+// (E17 additionally threads ProcOptions.Batch through).
+func measureDecodeOpts(mcs phy.MCS, nprb, reps int, seed int64, opts phy.ProcOptions) (phy.StageTimings, error) {
+	proc, err := phy.NewTransportProcessorOpts(mcs, nprb, opts)
 	if err != nil {
 		return phy.StageTimings{}, err
 	}

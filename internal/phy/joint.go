@@ -1,0 +1,204 @@
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// JointDecoder decodes several transport blocks of the same configuration
+// in one fan-out: the code blocks of every submitted request are pooled
+// into a single DecodeGroups call on a shared ParallelDecoder, so lockstep
+// batches can span transport-block boundaries — the cross-codeword batching
+// the data plane uses when one cell (or several cells on the same worker
+// set) has more than one uplink TB pending with identical (MCS, PRB) shape.
+// Each request keeps its own abort group: a CRC failure in one TB cancels
+// only that TB's remaining blocks.
+//
+// Ownership/concurrency contract: a JointDecoder is owned by one goroutine
+// at a time — DecodeJoint must not be called concurrently, and the
+// processors named in a call are owned by the decoder for the call's
+// duration (the usual one-owner TransportProcessor rule). It keeps resident
+// worker goroutines through its ParallelDecoder; Close releases them.
+type JointDecoder struct {
+	par *ParallelDecoder
+
+	// Per-call marshalling scratch, grown on demand and reused.
+	reqs          []DecodeRequest // the in-flight slice, for prepare dispatch
+	offs          []int           // block offset of each request
+	blocks        [][]byte
+	ld0, ld1, ld2 [][]float32
+	groups        []int32
+	failed        []bool
+	prep          func(int) // bound dispatchPrepare, allocated once
+}
+
+// DecodeRequest is one transport block's decode submission to a
+// JointDecoder: the processor that owns the TB's configuration and buffers,
+// the received symbols, and the channel/HARQ parameters (the same arguments
+// as TransportProcessor.Decode). After DecodeJoint returns, Payload/Iters/
+// Err hold that TB's outcome: Payload aliases the processor's buffer (valid
+// until its next decode) and Err is nil on success, ErrCRC-wrapped on a
+// failed TB.
+type DecodeRequest struct {
+	P        *TransportProcessor
+	RX       []complex128
+	N0       float64
+	RNTI     uint16
+	CellID   uint16
+	Subframe uint8
+	RV       int
+	SB       *SoftBuffer // nil: the processor's internal buffer, reset
+
+	// Results, written by DecodeJoint.
+	Payload []byte
+	Iters   int
+	Err     error
+}
+
+// NewJointDecoder returns a joint decoder for turbo block size k with the
+// given worker/kernel/batch configuration (the ParallelDecoder knobs).
+func NewJointDecoder(k int, o ParallelOptions) (*JointDecoder, error) {
+	par, err := NewParallelDecoderOpts(k, o)
+	if err != nil {
+		return nil, err
+	}
+	jd := &JointDecoder{par: par}
+	jd.prep = jd.dispatchPrepare // bound once: installing per call allocates nothing
+	return jd, nil
+}
+
+// K returns the turbo block size the decoder serves.
+func (jd *JointDecoder) K() int { return jd.par.K() }
+
+// Workers returns the decode parallelism (including the caller).
+func (jd *JointDecoder) Workers() int { return jd.par.Workers() }
+
+// Batch returns the lockstep batch width (1 = scalar per-block decode).
+func (jd *JointDecoder) Batch() int { return jd.par.Batch() }
+
+// Close releases the resident worker goroutines. It must not race an
+// in-flight DecodeJoint.
+func (jd *JointDecoder) Close() error { return jd.par.Close() }
+
+// DecodeJoint decodes every request's transport block in one pooled
+// fan-out. All processors must share the decoder's block size and one
+// segmentation shape, run the fused front-end, be serial (the joint decoder
+// supplies the parallelism), and be distinct (a processor's buffers hold
+// one TB at a time). The returned error reports validation or internal
+// decode failures affecting the whole call; per-TB CRC outcomes land in
+// each request's Err/Payload/Iters fields. Output bits, soft-buffer state,
+// and iteration counts are bit-identical to decoding each request serially
+// with TransportProcessor.Decode.
+func (jd *JointDecoder) DecodeJoint(reqs []DecodeRequest) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	seg := reqs[0].P.seg
+	for i := range reqs {
+		p := reqs[i].P
+		if p.seg.K != jd.par.K() {
+			return fmt.Errorf("phy: joint request %d has K=%d, decoder serves K=%d: %w", i, p.seg.K, jd.par.K(), ErrBadParameter)
+		}
+		if p.seg != seg {
+			return fmt.Errorf("phy: joint request %d segmentation %+v differs from %+v: %w", i, p.seg, seg, ErrBadParameter)
+		}
+		if p.frontEnd != FrontEndFused {
+			return fmt.Errorf("phy: joint request %d needs the fused front-end: %w", i, ErrBadParameter)
+		}
+		if p.par != nil {
+			return fmt.Errorf("phy: joint request %d processor has its own decode fan-out: %w", i, ErrBadParameter)
+		}
+		for j := 0; j < i; j++ {
+			if reqs[j].P == p {
+				return fmt.Errorf("phy: joint requests %d and %d share a processor: %w", j, i, ErrBadParameter)
+			}
+		}
+		if len(reqs[i].RX) != p.NumSymbols() {
+			return fmt.Errorf("phy: joint request %d: got %d symbols, want %d: %w", i, len(reqs[i].RX), p.NumSymbols(), ErrBadParameter)
+		}
+		if reqs[i].RV < 0 || reqs[i].RV > 3 {
+			return fmt.Errorf("phy: joint request %d: rv=%d out of range: %w", i, reqs[i].RV, ErrBadParameter)
+		}
+		if sb := reqs[i].SB; sb != nil && (sb.Blocks() != p.seg.C || sb.StreamLen() != p.seg.K+4) {
+			return fmt.Errorf("phy: joint request %d: soft buffer shape %d×%d, want %d×%d: %w",
+				i, sb.Blocks(), sb.StreamLen(), p.seg.C, p.seg.K+4, ErrBadParameter)
+		}
+	}
+
+	// Install every processor's front-end state, then marshal the pooled
+	// block list. From here on nothing fails until DecodeGroups.
+	start := time.Now()
+	jd.reqs = reqs
+	jd.offs = jd.offs[:0]
+	jd.blocks = jd.blocks[:0]
+	jd.ld0, jd.ld1, jd.ld2 = jd.ld0[:0], jd.ld1[:0], jd.ld2[:0]
+	jd.groups = jd.groups[:0]
+	jd.failed = jd.failed[:0]
+	for i := range reqs {
+		r := &reqs[i]
+		p := r.P
+		sb := r.SB
+		if sb == nil {
+			sb = p.softBuf
+			sb.Reset()
+		}
+		p.scr.Reinit(ScramblerInit(r.RNTI, r.CellID, r.Subframe))
+		p.feKey = p.scr.KeyWords(p.e)
+		p.feRX, p.feInvN0, p.feSB, p.feRV = r.RX, demodInvN0(r.N0), sb, r.RV
+		p.Timings.Demodulate, p.Timings.Descramble, p.Timings.Dematch = 0, 0, 0
+		p.Timings.FrontEnd = 0
+		jd.offs = append(jd.offs, len(jd.blocks))
+		for b := 0; b < p.seg.C; b++ {
+			jd.blocks = append(jd.blocks, p.blocks[b])
+			jd.ld0 = append(jd.ld0, sb.ld0[b])
+			jd.ld1 = append(jd.ld1, sb.ld1[b])
+			jd.ld2 = append(jd.ld2, sb.ld2[b])
+			jd.groups = append(jd.groups, int32(i))
+		}
+		jd.failed = append(jd.failed, false)
+	}
+	check := checkBlockCRC24A
+	if seg.C > 1 {
+		check = checkBlockCRC24B
+	}
+
+	_, err := jd.par.DecodeGroups(jd.blocks, jd.ld0, jd.ld1, jd.ld2, jd.groups, jd.failed, check, jd.prep)
+	elapsed := time.Since(start)
+	for i := range reqs {
+		r := &reqs[i]
+		r.P.clearFrontEndState()
+		r.Iters = jd.par.GroupIters(i)
+		// The fan-out interleaves all requests' front-ends and decodes
+		// across the shared workers; the joint wall time is attributed to
+		// every request's TurboDecode (the same convention as the
+		// overlapped per-TB path — see StageTimings).
+		r.P.Timings.TurboIterations = r.Iters
+		r.P.Timings.TurboDecode = elapsed
+		r.P.Timings.CRCCheck = 0
+		switch {
+		case err != nil:
+			r.Payload, r.Err = nil, err
+		case jd.failed[i]:
+			r.Payload, r.Err = nil, fmt.Errorf("phy: transport block: %w", ErrCRC)
+		default:
+			r.Payload, r.Err = r.P.finishDecode()
+		}
+	}
+	jd.reqs = nil
+	for i := range jd.blocks {
+		jd.blocks[i], jd.ld0[i], jd.ld1[i], jd.ld2[i] = nil, nil, nil, nil
+	}
+	return err
+}
+
+// dispatchPrepare is the pooled fan-out's prepare hook: block index i maps
+// back to (request, local block) and runs that processor's fused front-end
+// for the block. The offsets are sorted, so a short reverse scan finds the
+// owning request.
+func (jd *JointDecoder) dispatchPrepare(i int) {
+	r := len(jd.offs) - 1
+	for jd.offs[r] > i {
+		r--
+	}
+	jd.reqs[r].P.frontEndBlock(i - jd.offs[r])
+}

@@ -2,14 +2,15 @@ package phy
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
 
-// ParallelDecoder fans the turbo decoding of one transport block's code
-// blocks across a bounded set of workers. LTE code blocks are independent
-// after de-rate-matching — no state crosses block boundaries until
-// desegmentation — so the single hottest loop of uplink processing is
+// ParallelDecoder fans the turbo decoding of one or more transport blocks'
+// code blocks across a bounded set of workers. LTE code blocks are
+// independent after de-rate-matching — no state crosses block boundaries
+// until desegmentation — so the single hottest loop of uplink processing is
 // embarrassingly parallel; this type is the repo's intra-subframe
 // parallelization of it.
 //
@@ -17,43 +18,87 @@ import (
 // goroutine at a time, the one calling Decode — like TurboDecoder, it is NOT
 // safe for concurrent Decode calls. Internally it keeps workers-1 resident
 // helper goroutines, each owning a private TurboDecoder (with its own
-// preallocated metric buffers), parked on a wake channel between calls. The
-// calling goroutine participates as worker 0, so workers=1 spawns no
-// goroutines and adds no synchronization to the serial path. During a call,
-// block indices are claimed through an atomic counter (lock-free, no
-// per-subframe allocation); worker i writes only blocks[claimed] and reads
-// only the claimed block's LLR streams, so result placement is deterministic
-// regardless of scheduling order: block j's bits always land in blocks[j].
-// The wake-channel send happens-before helper execution and the WaitGroup
-// join happens-before Decode returns, which is the entire memory-ordering
-// story — no other locks exist on this path.
+// preallocated metric buffers) and, when batching is enabled, a private
+// BatchDecoderI16, parked on a wake channel between calls. The calling
+// goroutine participates as worker 0, so workers=1 spawns no goroutines and
+// adds no synchronization to the serial path. During a call, block indices
+// are claimed through an atomic counter (lock-free, no per-subframe
+// allocation) — one index at a time without batching, a contiguous span of
+// Batch indices with it; worker i writes only the blocks it claimed and
+// reads only those blocks' LLR streams, so result placement is
+// deterministic regardless of scheduling order: block j's bits always land
+// in blocks[j]. The wake-channel send happens-before helper execution and
+// the WaitGroup join happens-before the decode call returns, which is the
+// entire memory-ordering story — no other locks exist on this path.
 //
-// A CRC failure on any block (the per-block predicate returning false after
-// the iteration budget) sets an abort flag; workers observe it before
-// claiming their next block and stop early, since a transport block with a
-// failed code block can never pass the TB CRC.
+// Blocks are partitioned into abort groups (one group per transport block
+// when several are decoded jointly; a single group otherwise). A CRC
+// failure on any block (the per-block predicate returning false after the
+// iteration budget) marks its group aborted; workers skip the remaining
+// blocks of aborted groups — a transport block with a failed code block can
+// never pass the TB CRC — while other groups keep decoding. Lockstep
+// batches may mix groups: a lane whose group aborts mid-batch is cancelled
+// through the batch decoder's drop hook without perturbing its neighbours.
 //
 // Close releases the resident goroutines. Closing is required before
 // dropping the last reference when workers > 1, otherwise the helpers leak
 // parked forever.
 type ParallelDecoder struct {
 	workers int
-	decs    []*TurboDecoder // decs[0] is used by the calling goroutine
+	batch   int        // lockstep width (1 = per-block scalar decode)
+	ws      []pdWorker // ws[0] is used by the calling goroutine
 
 	wake   chan struct{} // one token wakes one parked helper
 	closed bool
 
 	// Per-call fan-out state: written by the owner before waking helpers
 	// (the channel send publishes it), read-only during the call except for
-	// the atomics and the distinct blocks[i] each claim writes.
+	// the atomics and the distinct blocks each claim writes.
 	blocks        [][]byte
 	ld0, ld1, ld2 [][]float32
+	groups        []int32 // nil = all blocks in group 0
 	check         func([]byte) bool
 	prepare       func(int)
+	ng            int // group count for this call
 	next          atomic.Int64
-	aborted       atomic.Bool
 	iters         atomic.Int64
+	gAbort        []atomic.Bool  // per-group abort flags, grown lazily
+	gIters        []atomic.Int64 // per-group iteration totals
 	wg            sync.WaitGroup
+
+	failed1 [1]bool // scratch for the single-group entry points
+}
+
+// pdWorker is one worker's private state: its scalar decoder, its optional
+// lockstep batch decoder, and the gather scratch a batched claim marshals
+// lanes through. Only the owning worker touches it during a call.
+type pdWorker struct {
+	pd  *ParallelDecoder
+	dec *TurboDecoder
+	bd  *BatchDecoderI16 // nil unless batch ≥ 2
+
+	idx        []int // claim scratch: lane → block index
+	blk        [][]byte
+	l0, l1, l2 [][]float32
+	drop       func(int) bool // bound dropLane, allocated once
+}
+
+// ParallelOptions bundles the ParallelDecoder construction knobs. The zero
+// value (with a valid kernel) is a serial scalar decoder.
+type ParallelOptions struct {
+	// Workers is the decode parallelism including the caller. 0 is treated
+	// as 1 (no helper goroutines).
+	Workers int
+	// Kernel selects the per-worker turbo SISO arithmetic.
+	Kernel DecodeKernel
+	// Batch, when ≥ 2, gives every worker a BatchDecoderI16 of that width:
+	// a worker claims Batch block indices at a time and decodes the claimed
+	// span in lockstep through one SISO pipeline (single leftover blocks
+	// fall back to the scalar decoder, which is faster than a one-lane
+	// batch). Requires KernelInt16 — the lockstep kernel is bit-identical
+	// to the scalar int16 kernel, so outputs do not change. 0 or 1 disables
+	// batching.
+	Batch int
 }
 
 // NewParallelDecoder returns a decoder pool for turbo block size k with the
@@ -69,21 +114,65 @@ func NewParallelDecoder(k, workers int) (*ParallelDecoder, error) {
 // and never shared.
 func NewParallelDecoderKernel(k, workers int, kernel DecodeKernel) (*ParallelDecoder, error) {
 	if workers < 1 {
+		// The explicit-workers constructors reject 0; only ParallelOptions
+		// treats the zero value as "serial".
 		return nil, fmt.Errorf("phy: %d parallel decode workers: %w", workers, ErrBadParameter)
+	}
+	return NewParallelDecoderOpts(k, ParallelOptions{Workers: workers, Kernel: kernel})
+}
+
+// NewParallelDecoderOpts builds a decoder pool with explicit options; the
+// other constructors are shorthands for common combinations.
+func NewParallelDecoderOpts(k int, o ParallelOptions) (*ParallelDecoder, error) {
+	workers := o.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("phy: %d parallel decode workers: %w", workers, ErrBadParameter)
+	}
+	batch := o.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("phy: batch width %d: %w", batch, ErrBadParameter)
+	}
+	if batch > 1 && o.Kernel != KernelInt16 {
+		return nil, fmt.Errorf("phy: batched decode requires the int16 kernel, have %v: %w", o.Kernel, ErrBadParameter)
 	}
 	pd := &ParallelDecoder{
 		workers: workers,
+		batch:   batch,
 		wake:    make(chan struct{}),
+		gAbort:  make([]atomic.Bool, 1),
+		gIters:  make([]atomic.Int64, 1),
 	}
-	for i := 0; i < workers; i++ {
-		dec, err := NewTurboDecoderKernel(k, kernel)
+	pd.ws = make([]pdWorker, workers)
+	for i := range pd.ws {
+		w := &pd.ws[i]
+		w.pd = pd
+		dec, err := NewTurboDecoderKernel(k, o.Kernel)
 		if err != nil {
 			return nil, err
 		}
-		pd.decs = append(pd.decs, dec)
+		w.dec = dec
+		if batch > 1 {
+			bd, err := NewBatchDecoderI16(k, batch)
+			if err != nil {
+				return nil, err
+			}
+			w.bd = bd
+			w.blk = make([][]byte, batch)
+			w.l0 = make([][]float32, batch)
+			w.l1 = make([][]float32, batch)
+			w.l2 = make([][]float32, batch)
+			w.drop = w.dropLane // bound once: installing per call allocates nothing
+		}
+		w.idx = make([]int, batch)
 	}
 	for i := 1; i < workers; i++ {
-		go pd.helper(pd.decs[i])
+		go pd.helper(&pd.ws[i])
 	}
 	return pd, nil
 }
@@ -91,11 +180,14 @@ func NewParallelDecoderKernel(k, workers int, kernel DecodeKernel) (*ParallelDec
 // Workers returns the configured parallelism (including the caller).
 func (pd *ParallelDecoder) Workers() int { return pd.workers }
 
+// Batch returns the lockstep batch width (1 = scalar per-block decode).
+func (pd *ParallelDecoder) Batch() int { return pd.batch }
+
 // Kernel returns the SISO kernel the per-worker decoders run.
-func (pd *ParallelDecoder) Kernel() DecodeKernel { return pd.decs[0].Kernel() }
+func (pd *ParallelDecoder) Kernel() DecodeKernel { return pd.ws[0].dec.Kernel() }
 
 // K returns the turbo block size.
-func (pd *ParallelDecoder) K() int { return pd.decs[0].K() }
+func (pd *ParallelDecoder) K() int { return pd.ws[0].dec.K() }
 
 // Decode turbo-decodes every code block: blocks[i] (length K each) receives
 // the hard decisions for the LLR streams ld0[i], ld1[i], ld2[i] (each length
@@ -124,82 +216,212 @@ func (pd *ParallelDecoder) Decode(blocks [][]byte, ld0, ld1, ld2 [][]float32, ch
 // validation belongs on the owner before the call. prepare runs for every
 // block even when a CRC failure aborts the decode fan-out, because its side
 // effects are HARQ soft state that must match the staged pipeline's (see
-// decodeBlocks).
+// claimBlocks).
 func (pd *ParallelDecoder) DecodePrepared(blocks [][]byte, ld0, ld1, ld2 [][]float32, check func([]byte) bool, prepare func(int)) (int, bool, error) {
+	iters, err := pd.DecodeGroups(blocks, ld0, ld1, ld2, nil, pd.failed1[:], check, prepare)
+	if err != nil {
+		return iters, false, err
+	}
+	return iters, !pd.failed1[0], nil
+}
+
+// DecodeGroups is the joint entry point: it decodes blocks belonging to
+// several independent transport blocks in one fan-out. groups[i] names the
+// abort group (transport block) of blocks[i]; nil means one group. failed
+// must have one element per group (its length is the group count); on
+// return failed[g] reports whether any block of group g missed its check. A
+// failure aborts only the remaining blocks of that group — other groups
+// keep decoding — which is what makes cross-transport-block batching safe:
+// one UE's bad channel cannot starve another's decode. check and prepare
+// are as in DecodePrepared; prepare still runs for every block of aborted
+// groups (HARQ soft state). The returned total iteration count sums all
+// groups; per-group totals are available from GroupIters until the next
+// decode call. Like Decode, only the owning goroutine may call this.
+func (pd *ParallelDecoder) DecodeGroups(blocks [][]byte, ld0, ld1, ld2 [][]float32, groups []int32, failed []bool, check func([]byte) bool, prepare func(int)) (int, error) {
 	if pd.closed {
-		return 0, false, fmt.Errorf("phy: parallel decoder is closed: %w", ErrBadParameter)
+		return 0, fmt.Errorf("phy: parallel decoder is closed: %w", ErrBadParameter)
 	}
 	c := len(blocks)
 	if len(ld0) != c || len(ld1) != c || len(ld2) != c {
-		return 0, false, fmt.Errorf("phy: %d blocks but %d/%d/%d LLR streams: %w",
+		return 0, fmt.Errorf("phy: %d blocks but %d/%d/%d LLR streams: %w",
 			c, len(ld0), len(ld1), len(ld2), ErrBadParameter)
 	}
-	pd.blocks, pd.ld0, pd.ld1, pd.ld2, pd.check, pd.prepare = blocks, ld0, ld1, ld2, check, prepare
+	ng := len(failed)
+	if ng < 1 {
+		return 0, fmt.Errorf("phy: DecodeGroups needs at least one group slot: %w", ErrBadParameter)
+	}
+	if groups != nil {
+		if len(groups) != c {
+			return 0, fmt.Errorf("phy: %d blocks but %d group tags: %w", c, len(groups), ErrBadParameter)
+		}
+		for i, g := range groups {
+			if g < 0 || int(g) >= ng {
+				return 0, fmt.Errorf("phy: block %d group %d outside [0,%d): %w", i, g, ng, ErrBadParameter)
+			}
+		}
+	}
+	clear(failed)
+	if c == 0 {
+		return 0, nil
+	}
+	for cap(pd.gAbort) < ng {
+		pd.gAbort = append(pd.gAbort[:cap(pd.gAbort)], atomic.Bool{})
+		pd.gIters = append(pd.gIters[:cap(pd.gIters)], atomic.Int64{})
+	}
+	pd.gAbort = pd.gAbort[:cap(pd.gAbort)]
+	pd.gIters = pd.gIters[:cap(pd.gIters)]
+	for g := 0; g < ng; g++ {
+		pd.gAbort[g].Store(false)
+		pd.gIters[g].Store(0)
+	}
+	pd.blocks, pd.ld0, pd.ld1, pd.ld2 = blocks, ld0, ld1, ld2
+	pd.groups, pd.check, pd.prepare, pd.ng = groups, check, prepare, ng
 	pd.next.Store(0)
-	pd.aborted.Store(false)
 	pd.iters.Store(0)
-	helpers := min(pd.workers, c) - 1
+	spans := (c + pd.batch - 1) / pd.batch
+	helpers := min(pd.workers, spans) - 1
 	pd.wg.Add(helpers)
 	for i := 0; i < helpers; i++ {
 		pd.wake <- struct{}{}
 	}
 	// The caller is worker 0.
-	err := pd.decodeBlocks(pd.decs[0])
+	err := pd.claimBlocks(&pd.ws[0])
 	pd.wg.Wait()
-	pd.blocks, pd.ld0, pd.ld1, pd.ld2, pd.check, pd.prepare = nil, nil, nil, nil, nil, nil
-	if err != nil {
-		return int(pd.iters.Load()), false, err
+	for g := 0; g < ng; g++ {
+		failed[g] = pd.gAbort[g].Load()
 	}
-	return int(pd.iters.Load()), !pd.aborted.Load(), nil
+	pd.blocks, pd.ld0, pd.ld1, pd.ld2 = nil, nil, nil, nil
+	pd.groups, pd.check, pd.prepare = nil, nil, nil
+	return int(pd.iters.Load()), err
+}
+
+// GroupIters returns the iterations group g consumed in the most recent
+// DecodeGroups call (valid until the next decode call on this pool).
+func (pd *ParallelDecoder) GroupIters(g int) int { return int(pd.gIters[g].Load()) }
+
+// group maps a block index to its abort group.
+func (pd *ParallelDecoder) group(i int) int {
+	if pd.groups == nil {
+		return 0
+	}
+	return int(pd.groups[i])
+}
+
+// abortAll marks every group aborted (decode-error path).
+func (pd *ParallelDecoder) abortAll() {
+	for g := 0; g < pd.ng; g++ {
+		pd.gAbort[g].Store(true)
+	}
+}
+
+// dropLane is the batch decoder's cancellation hook: lane b of the worker's
+// in-flight batch is cancelled when its group has aborted.
+func (w *pdWorker) dropLane(b int) bool {
+	pd := w.pd
+	return pd.gAbort[pd.group(w.idx[b])].Load()
 }
 
 // helper is the resident loop of one worker goroutine: park on the wake
 // channel, run the shared block counter dry, signal completion, park again.
 // A closed wake channel terminates the loop.
-func (pd *ParallelDecoder) helper(dec *TurboDecoder) {
+func (pd *ParallelDecoder) helper(w *pdWorker) {
 	for range pd.wake {
-		// Decode errors cannot occur here: Decode validated the stream
-		// shapes and the constructor fixed K, which are the only failure
-		// modes of TurboDecoder.Decode. The owner's own decodeBlocks call
-		// surfaces them in the degenerate cases.
-		_ = pd.decodeBlocks(dec)
+		// Decode errors cannot occur here: DecodeGroups validated the
+		// stream shapes and the constructor fixed K, which are the only
+		// failure modes of the per-worker decoders. The owner's own
+		// claimBlocks call surfaces them in the degenerate cases.
+		_ = pd.claimBlocks(w)
 		pd.wg.Done()
 	}
 }
 
-// decodeBlocks claims block indices until none remain or a block aborts.
-// With a prepare hook installed, the hook still runs for every remaining
-// block after an abort (only the turbo decodes are skipped): in the fused
-// front-end the hook's side effect is soft-buffer accumulation, which is
-// HARQ state the next retransmission combines against — dropping it would
-// make an aborted fused decode leave different soft state than the staged
-// pipeline, whose front-end sweeps always complete before turbo starts.
-func (pd *ParallelDecoder) decodeBlocks(dec *TurboDecoder) error {
-	dec.EarlyCheck = pd.check
+// claimBlocks claims spans of block indices until none remain. With a
+// prepare hook installed, the hook still runs for every block of an aborted
+// group (only the turbo decodes are skipped): in the fused front-end the
+// hook's side effect is soft-buffer accumulation, which is HARQ state the
+// next retransmission combines against — dropping it would make an aborted
+// fused decode leave different soft state than the staged pipeline, whose
+// front-end sweeps always complete before turbo starts.
+//
+// A claimed span's non-aborted blocks go through the lockstep batch decoder
+// when ≥ 2 remain; a single block uses the scalar decoder (measured faster
+// than a one-lane batch pass). Both produce bit-identical output.
+func (pd *ParallelDecoder) claimBlocks(w *pdWorker) error {
+	w.dec.EarlyCheck = pd.check
+	batch := pd.batch
 	for {
-		if pd.prepare == nil && pd.aborted.Load() {
+		if pd.prepare == nil && pd.ng == 1 && pd.gAbort[0].Load() {
 			return nil
 		}
-		i := int(pd.next.Add(1) - 1)
-		if i >= len(pd.blocks) {
+		base := int(pd.next.Add(int64(batch)) - int64(batch))
+		if base >= len(pd.blocks) {
 			return nil
 		}
+		end := min(base+batch, len(pd.blocks))
 		if pd.prepare != nil {
-			pd.prepare(i)
-			if pd.aborted.Load() {
-				continue
+			for i := base; i < end; i++ {
+				pd.prepare(i)
 			}
 		}
-		iters, err := dec.Decode(pd.blocks[i], pd.ld0[i], pd.ld1[i], pd.ld2[i])
-		if err != nil {
-			pd.aborted.Store(true)
-			return err
+		// Gather the span's still-live blocks.
+		n := 0
+		for i := base; i < end; i++ {
+			if pd.gAbort[pd.group(i)].Load() {
+				continue
+			}
+			w.idx[n] = i
+			n++
 		}
-		pd.iters.Add(int64(iters))
-		if pd.check != nil && !pd.check(pd.blocks[i]) {
-			pd.aborted.Store(true)
+		if n >= 2 && w.bd != nil {
+			if err := w.decodeBatch(n); err != nil {
+				pd.abortAll()
+				return err
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			i := w.idx[j]
+			iters, err := w.dec.Decode(pd.blocks[i], pd.ld0[i], pd.ld1[i], pd.ld2[i])
+			if err != nil {
+				pd.abortAll()
+				return err
+			}
+			pd.iters.Add(int64(iters))
+			pd.gIters[pd.group(i)].Add(int64(iters))
+			if pd.check != nil && !pd.check(pd.blocks[i]) {
+				pd.gAbort[pd.group(i)].Store(true)
+			}
 		}
 	}
+}
+
+// decodeBatch runs the worker's gathered n-block span through its lockstep
+// decoder: lanes that fail their check after the budget mark their group
+// aborted, and lanes of groups aborted mid-flight are cancelled through the
+// drop hook.
+func (w *pdWorker) decodeBatch(n int) error {
+	pd := w.pd
+	for j := 0; j < n; j++ {
+		i := w.idx[j]
+		w.blk[j], w.l0[j], w.l1[j], w.l2[j] = pd.blocks[i], pd.ld0[i], pd.ld1[i], pd.ld2[i]
+	}
+	iters, failedMask, err := w.bd.Decode(w.blk[:n], w.l0[:n], w.l1[:n], w.l2[:n], pd.check, w.drop)
+	for j := 0; j < n; j++ {
+		w.blk[j], w.l0[j], w.l1[j], w.l2[j] = nil, nil, nil, nil
+	}
+	if err != nil {
+		return err
+	}
+	pd.iters.Add(int64(iters))
+	for j := 0; j < n; j++ {
+		pd.gIters[pd.group(w.idx[j])].Add(int64(w.bd.LaneIters(j)))
+	}
+	for failedMask != 0 {
+		lane := bits.TrailingZeros64(failedMask)
+		failedMask &= failedMask - 1
+		pd.gAbort[pd.group(w.idx[lane])].Store(true)
+	}
+	return nil
 }
 
 // Close terminates the resident helper goroutines. It must not be called

@@ -217,6 +217,12 @@ type ProcOptions struct {
 	// FrontEnd selects the fused single-pass or staged three-sweep decode
 	// front-end. Outputs are bit-identical either way.
 	FrontEnd FrontEnd
+	// Batch, when ≥ 2, decodes a transport block's code blocks through
+	// width-Batch lockstep batch decoders instead of one scalar decode per
+	// block (see ParallelOptions.Batch; requires KernelInt16, output is
+	// bit-identical). It composes with Workers: each worker claims Batch
+	// blocks at a time. 0 or 1 keeps the scalar per-block path.
+	Batch int
 }
 
 // NewTransportProcessorOpts builds a processor with explicit options; the
@@ -249,8 +255,13 @@ func NewTransportProcessorOpts(mcs MCS, nprb int, o ProcOptions) (*TransportProc
 	if err != nil {
 		return nil, err
 	}
+	batch := o.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	usePar := workers > 1 || batch > 1
 	var dec *TurboDecoder
-	if workers == 1 {
+	if !usePar {
 		// The parallel decoder owns per-worker decoders; only the serial
 		// path needs the processor-level one.
 		dec, err = NewTurboDecoderKernel(seg.K, kernel)
@@ -290,8 +301,8 @@ func NewTransportProcessorOpts(mcs MCS, nprb int, o ProcOptions) (*TransportProc
 		p.blocks = append(p.blocks, p.blockbk[i*seg.K:(i+1)*seg.K])
 	}
 	p.softBuf = p.NewSoftBuffer()
-	if workers > 1 {
-		p.par, err = NewParallelDecoderKernel(seg.K, workers, kernel)
+	if usePar {
+		p.par, err = NewParallelDecoderOpts(seg.K, ParallelOptions{Workers: workers, Kernel: kernel, Batch: batch})
 		if err != nil {
 			return nil, err
 		}
@@ -305,6 +316,14 @@ func (p *TransportProcessor) Workers() int {
 		return 1
 	}
 	return p.par.Workers()
+}
+
+// Batch returns the configured lockstep decode width (1 = scalar).
+func (p *TransportProcessor) Batch() int {
+	if p.par == nil {
+		return 1
+	}
+	return p.par.Batch()
 }
 
 // Kernel returns the turbo SISO kernel the processor decodes with.
@@ -333,6 +352,10 @@ func (p *TransportProcessor) TransportBlockSize() int { return p.tbs }
 
 // NumCodeBlocks returns the number of turbo code blocks per TB.
 func (p *TransportProcessor) NumCodeBlocks() int { return p.seg.C }
+
+// CodeBlockSize returns the turbo block size K the configuration segments
+// into — the key a JointDecoder serving this configuration must match.
+func (p *TransportProcessor) CodeBlockSize() int { return p.seg.K }
 
 // NumSymbols returns the number of constellation symbols per TB.
 func (p *TransportProcessor) NumSymbols() int {

@@ -1,0 +1,53 @@
+//go:build amd64 && !purego
+
+package phy
+
+// AVX2 lockstep path for the batched int16 kernel, fixed at 8 lanes: each
+// trellis state's metric vector is one YMM register of 8 int32 lanes
+// (widened from the int16 SoA working set on load, packed back on store).
+// Doing the arithmetic in 32-bit lanes makes bit-exactness against the
+// scalar kernel trivial — the scalar kernel computes in Go int and only
+// stores int16, so the AVX2 path performs literally the same integer
+// operations; no saturating-arithmetic edge cases to reason about. The
+// documented metric bounds (turbo_i16.go) guarantee every packed store is
+// in int16 range, so VPACKSSDW never actually saturates.
+//
+// Build with -tags purego (or on non-amd64) to drop this path and pin the
+// pure-Go lockstep fallback; batchAsm is also false at runtime when the CPU
+// or OS lacks AVX2/YMM support.
+
+// batchAsm reports whether the AVX2 lockstep path is usable on this CPU
+// (AVX2 plus OS-enabled YMM state, probed once at init).
+var batchAsm = cpuHasAVX2()
+
+// BatchAVX2 reports whether the batched kernel runs its AVX2 path at width
+// 8 on this build and CPU (false means the pure-Go lockstep fallback).
+func BatchAVX2() bool { return batchAsm }
+
+// cpuHasAVX2 probes CPUID/XGETBV for AVX2 with OS-saved YMM state.
+func cpuHasAVX2() bool
+
+// forwardI16Batch8 runs the forward recursion of one SISO pass over k data
+// steps for 8 lanes: ls/lp/la are the stride-8 int16 SoA streams, and row t
+// of alpha (8 states × 8 lanes of int16) receives the metrics entering
+// step t. The metric bank lives in registers for the whole pass.
+//
+//go:noescape
+func forwardI16Batch8(ls, lp, la, alpha *int16, k int)
+
+// fusedI16Batch8 runs the fused backward recursion + extrinsic computation
+// for 8 lanes: beta points at the 8×8 int16 bank holding the renormalized
+// beta[K] metrics (from tailBetaBatch), alpha at the forward metrics stored
+// by forwardI16Batch8, and ext receives the clamped extrinsic output.
+//
+//go:noescape
+func fusedI16Batch8(ls, lp, la, ext, alpha, beta *int16, k int)
+
+// sisoI16BatchAVX2 is sisoI16Batch for the fixed width-8 AVX2 path: asm
+// forward and fused-backward passes around the shared Go tail recursion.
+func sisoI16BatchAVX2(ls, lp, la, ext, alpha, bt, nbt []int16, k int) {
+	forwardI16Batch8(&ls[0], &lp[0], &la[0], &alpha[0], k)
+	beta := tailBetaBatch(ls, lp, bt, nbt, k, 8, 8)
+	renormBatch(beta, 8, 8)
+	fusedI16Batch8(&ls[0], &lp[0], &la[0], &ext[0], &alpha[0], &beta[0], k)
+}

@@ -1,0 +1,17 @@
+//go:build !amd64 || purego
+
+package phy
+
+// batchAsm is false without the amd64 AVX2 path; the compiler removes the
+// sisoI16BatchAVX2 branches entirely, leaving the pure-Go lockstep kernel.
+const batchAsm = false
+
+// BatchAVX2 reports whether the batched kernel runs its AVX2 path at width
+// 8 on this build and CPU (false means the pure-Go lockstep fallback).
+func BatchAVX2() bool { return batchAsm }
+
+// sisoI16BatchAVX2 is unreachable in this build (batchAsm is a false
+// constant); the stub keeps the call site compiling.
+func sisoI16BatchAVX2(ls, lp, la, ext, alpha, bt, nbt []int16, k int) {
+	panic("phy: AVX2 batch path unavailable in this build")
+}

@@ -1,0 +1,344 @@
+package phy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// batchTestVectors encodes n CRC-24B-protected blocks of size k and returns
+// noisy LLR streams (sigma=0 means noise-free) plus the transmitted blocks.
+func batchTestVectors(t testing.TB, rng *rand.Rand, k, n int, sigma float64) (blocks [][]byte, l0, l1, l2 [][]float32) {
+	t.Helper()
+	enc, err := NewTurboEncoder(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1, d2 := make([]byte, k+4), make([]byte, k+4), make([]byte, k+4)
+	noisy := func(bits []byte) []float32 {
+		llr := make([]float32, len(bits))
+		for i, b := range bits {
+			y := 1 - 2*float64(b)
+			if sigma > 0 {
+				y += sigma * rng.NormFloat64()
+				llr[i] = float32(2 * y / (sigma * sigma))
+			} else {
+				llr[i] = float32(8 * y)
+			}
+		}
+		return llr
+	}
+	for b := 0; b < n; b++ {
+		input := AppendCRC24B(nil, randBits(rng, k-24))
+		if err := enc.Encode(d0, d1, d2, input); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, input)
+		l0 = append(l0, noisy(d0))
+		l1 = append(l1, noisy(d1))
+		l2 = append(l2, noisy(d2))
+	}
+	return blocks, l0, l1, l2
+}
+
+// decodeScalarOracle runs the scalar int16 kernel over each lane
+// independently under the same check, returning outputs, summed iterations,
+// and the failure mask — the reference the batched kernel must match bit
+// for bit.
+func decodeScalarOracle(t testing.TB, k, maxIter int, l0, l1, l2 [][]float32, check func([]byte) bool) (outs [][]byte, iters int, failed uint64) {
+	t.Helper()
+	dec, err := NewTurboDecoderKernel(k, KernelInt16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.MaxIterations = maxIter
+	dec.EarlyCheck = check
+	for b := range l0 {
+		out := make([]byte, k)
+		n, err := dec.Decode(out, l0[b], l1[b], l2[b])
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+		iters += n
+		if check != nil && !check(out) {
+			failed |= 1 << uint(b)
+		}
+	}
+	return outs, iters, failed
+}
+
+// TestBatchDecoderMatchesScalarOracle is the lockstep bit-exactness
+// property: across block sizes, widths, ragged batches, noise levels, and
+// iteration budgets, every lane of the batched kernel must produce exactly
+// the scalar int16 kernel's output, consume the same per-lane iteration
+// count (summed), and report the same failure mask.
+func TestBatchDecoderMatchesScalarOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	cases := []struct {
+		k, width, n int
+		sigma       float64
+		maxIter     int
+		check       bool
+	}{
+		{40, 2, 2, 0, 8, true},
+		{40, 8, 5, 0.9, 8, true}, // ragged, noisy enough for iteration spread
+		{64, 4, 4, 0.8, 8, true}, // full batch under noise
+		{512, 8, 8, 0.75, 8, true},
+		{512, 8, 3, 1.2, 4, true},  // heavy noise: some lanes must fail
+		{512, 3, 3, 0.8, 8, false}, // no early check: fixed iteration count
+		{1056, 4, 4, 0.7, 6, true},
+	}
+	if testing.Short() {
+		cases = cases[:4]
+	}
+	for _, c := range cases {
+		sent, l0, l1, l2 := batchTestVectors(t, rng, c.k, c.n, c.sigma)
+		_ = sent
+		var check func([]byte) bool
+		if c.check {
+			check = checkBlockCRC24B
+		}
+		wantOuts, wantIters, wantFailed := decodeScalarOracle(t, c.k, c.maxIter, l0, l1, l2, check)
+
+		bd, err := NewBatchDecoderI16(c.k, c.width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd.MaxIterations = c.maxIter
+		got := make([][]byte, c.n)
+		for b := range got {
+			got[b] = make([]byte, c.k)
+		}
+		iters, failed, err := bd.Decode(got, l0, l1, l2, check, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed != wantFailed {
+			t.Errorf("K=%d w=%d n=%d σ=%.2f: failed mask %#x, scalar oracle %#x", c.k, c.width, c.n, c.sigma, failed, wantFailed)
+		}
+		if iters != wantIters {
+			t.Errorf("K=%d w=%d n=%d σ=%.2f: %d total iterations, scalar oracle %d", c.k, c.width, c.n, c.sigma, iters, wantIters)
+		}
+		for b := range got {
+			for i := range got[b] {
+				if got[b][i] != wantOuts[b][i] {
+					t.Fatalf("K=%d w=%d n=%d σ=%.2f: lane %d bit %d = %d, scalar oracle %d", c.k, c.width, c.n, c.sigma, b, i, got[b][i], wantOuts[b][i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDecoderDropLane pins the cancellation hook: a lane dropped
+// between iterations retires without disturbing its neighbours (their
+// outputs stay bit-identical to the scalar oracle) and is neither failed
+// nor iterated further.
+func TestBatchDecoderDropLane(t *testing.T) {
+	const k, n = 512, 4
+	rng := rand.New(rand.NewSource(99))
+	_, l0, l1, l2 := batchTestVectors(t, rng, k, n, 0.85)
+	wantOuts, _, wantFailed := decodeScalarOracle(t, k, 8, l0, l1, l2, checkBlockCRC24B)
+
+	bd, err := NewBatchDecoderI16(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]byte, n)
+	for b := range got {
+		got[b] = make([]byte, k)
+	}
+	const victim = 1
+	dropped := false
+	drop := func(lane int) bool {
+		// Cancel the victim lane before its second iteration.
+		if lane == victim && dropped {
+			return true
+		}
+		if lane == victim {
+			dropped = true
+		}
+		return false
+	}
+	_, failed, err := bd.Decode(got, l0, l1, l2, checkBlockCRC24B, drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed&(1<<victim) != 0 {
+		t.Errorf("dropped lane %d reported as failed", victim)
+	}
+	for b := range got {
+		if b == victim {
+			continue // dropped mid-decode; its bits are whatever iteration 1 left
+		}
+		if wantFailed&(1<<uint(b)) != 0 {
+			continue // failed lanes compare via the mask in the oracle test
+		}
+		for i := range got[b] {
+			if got[b][i] != wantOuts[b][i] {
+				t.Fatalf("lane %d bit %d perturbed by dropping lane %d", b, i, victim)
+			}
+		}
+	}
+}
+
+func TestBatchDecoderValidation(t *testing.T) {
+	if _, err := NewBatchDecoderI16(512, 1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("width 1 = %v, want ErrBadParameter", err)
+	}
+	if _, err := NewBatchDecoderI16(512, 65); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("width 65 = %v, want ErrBadParameter", err)
+	}
+	bd, err := NewBatchDecoderI16(512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.K() != 512 || bd.Width() != 4 {
+		t.Errorf("K()=%d Width()=%d", bd.K(), bd.Width())
+	}
+	mk := func(n, l int) [][]float32 {
+		s := make([][]float32, n)
+		for i := range s {
+			s[i] = make([]float32, l)
+		}
+		return s
+	}
+	blocks := [][]byte{make([]byte, 512), make([]byte, 512)}
+	if _, _, err := bd.Decode(blocks[:0], nil, nil, nil, nil, nil); err != nil {
+		t.Errorf("empty batch = %v, want nil", err)
+	}
+	five := make([][]byte, 5)
+	for i := range five {
+		five[i] = make([]byte, 512)
+	}
+	if _, _, err := bd.Decode(five, mk(5, 516), mk(5, 516), mk(5, 516), nil, nil); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("overwide batch = %v, want ErrBadParameter", err)
+	}
+	if _, _, err := bd.Decode(blocks, mk(1, 516), mk(2, 516), mk(2, 516), nil, nil); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("stream count mismatch = %v, want ErrBadParameter", err)
+	}
+	if _, _, err := bd.Decode(blocks, mk(2, 515), mk(2, 516), mk(2, 516), nil, nil); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("stream length mismatch = %v, want ErrBadParameter", err)
+	}
+	short := [][]byte{make([]byte, 511), make([]byte, 512)}
+	if _, _, err := bd.Decode(short, mk(2, 516), mk(2, 516), mk(2, 516), nil, nil); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("short output = %v, want ErrBadParameter", err)
+	}
+}
+
+func TestBatchDecoderNoAlloc(t *testing.T) {
+	const k, w = 512, 8
+	rng := rand.New(rand.NewSource(55))
+	_, l0, l1, l2 := batchTestVectors(t, rng, k, w, 0.8)
+	bd, err := NewBatchDecoderI16(k, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]byte, w)
+	for b := range got {
+		got[b] = make([]byte, k)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := bd.Decode(got, l0, l1, l2, checkBlockCRC24B, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("batched Decode allocates %v times per call; hot path must be allocation-free", allocs)
+	}
+}
+
+// FuzzBatchedKernel fuzzes the lockstep bit-exactness property: arbitrary
+// LLR perturbations, batch shapes, and iteration budgets must never produce
+// a lane that differs from the scalar int16 oracle.
+func FuzzBatchedKernel(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(5), uint8(8), []byte{0, 1, 2, 3})
+	f.Add(int64(2), uint8(2), uint8(2), uint8(1), []byte{255, 128})
+	f.Add(int64(3), uint8(5), uint8(3), uint8(4), []byte{7})
+	f.Fuzz(func(t *testing.T, seed int64, width, nLanes, maxIter uint8, perturb []byte) {
+		const k = 40
+		w := 2 + int(width)%7  // 2..8
+		n := 1 + int(nLanes)%w // 1..w (ragged allowed)
+		mi := 1 + int(maxIter)%8
+		rng := rand.New(rand.NewSource(seed))
+		_, l0, l1, l2 := batchTestVectors(t, rng, k, n, 1.0)
+		// Inject fuzz-controlled perturbations so the corpus explores LLR
+		// patterns the Gaussian draw never hits (saturation, exact ties).
+		for i, p := range perturb {
+			lane := i % n
+			pos := int(p) % (k + 4)
+			l0[lane][pos] = float32(int(p)-128) / 4
+			l1[lane][(pos+1)%(k+4)] = float32(int(p) - 100)
+			l2[lane][(pos+2)%(k+4)] = -float32(int(p)) / 8
+		}
+		wantOuts, wantIters, wantFailed := decodeScalarOracle(t, k, mi, l0, l1, l2, checkBlockCRC24B)
+
+		bd, err := NewBatchDecoderI16(k, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd.MaxIterations = mi
+		got := make([][]byte, n)
+		for b := range got {
+			got[b] = make([]byte, k)
+		}
+		iters, failed, err := bd.Decode(got, l0, l1, l2, checkBlockCRC24B, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed != wantFailed || iters != wantIters {
+			t.Fatalf("w=%d n=%d mi=%d: (iters,failed)=(%d,%#x), scalar oracle (%d,%#x)", w, n, mi, iters, failed, wantIters, wantFailed)
+		}
+		for b := range got {
+			for i := range got[b] {
+				if got[b][i] != wantOuts[b][i] {
+					t.Fatalf("w=%d n=%d mi=%d: lane %d bit %d = %d, scalar oracle %d", w, n, mi, b, i, got[b][i], wantOuts[b][i])
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkBatchVsScalarI16 measures per-block decode cost at K=6144 with a
+// fixed iteration budget (no early exit), scalar vs lockstep widths — the
+// kernel-level speedup E17 reports.
+func BenchmarkBatchVsScalarI16(b *testing.B) {
+	const k = 6144
+	rng := rand.New(rand.NewSource(17))
+	_, l0, l1, l2 := batchTestVectors(b, rng, k, 8, 0.8)
+	out := make([]byte, k)
+	b.Run("scalar", func(b *testing.B) {
+		dec, err := NewTurboDecoderKernel(k, KernelInt16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec.MaxIterations = 4
+		b.SetBytes(int64(k))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dec.Decode(out, l0[i%8], l1[i%8], l2[i%8]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		b.Run(map[int]string{2: "batch2", 4: "batch4", 8: "batch8"}[w], func(b *testing.B) {
+			bd, err := NewBatchDecoderI16(k, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bd.MaxIterations = 4
+			got := make([][]byte, w)
+			for i := range got {
+				got[i] = make([]byte, k)
+			}
+			b.SetBytes(int64(k * w))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bd.Decode(got, l0[:w], l1[:w], l2[:w], nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
