@@ -143,3 +143,12 @@ func BenchmarkE16_Scale(b *testing.B) {
 func BenchmarkE17_BatchSpeedup(b *testing.B) {
 	report(b, func(q bool) (experiments.Result, error) { return experiments.E17BatchSpeedup(q, 8) })
 }
+
+// BenchmarkE18_VectorFrontEnd regenerates the vector front-end measurement:
+// the fused two-phase tile pass with AVX2 kernels vs the pure-Go tiles vs
+// the staged sweeps, per modulation, plus the feasibility frontier on the
+// vector-calibrated cost model. On hosts without AVX2 the speedups read
+// ~1.00x and the fe_avx2 metric is 0.
+func BenchmarkE18_VectorFrontEnd(b *testing.B) {
+	report(b, experiments.E18VectorFrontEnd)
+}

@@ -112,44 +112,62 @@ func Calibrate() (CostModel, error) {
 		m.DematchPerBit = time.Since(start).Seconds() / float64(reps) / float64(e)
 	}
 
-	// Fused front-end per RE for each constellation: run a serial fused
-	// TransportProcessor over a representative allocation per modulation and
-	// read the measured Timings.FrontEnd, which covers the whole single pass
-	// (demod + descramble sign-fold + soft de-rate-match scatter).
+	// Fused front-end per RE for each constellation, in two columns: the
+	// scalar tile pipeline (NoVectorFrontEnd) and the default pipeline,
+	// which uses the AVX2 tile kernels when the host has them. Each column
+	// runs a serial fused TransportProcessor over a representative
+	// allocation per modulation and reads the measured Timings.FrontEnd,
+	// which covers the whole two-phase pass (tile demod + keystream
+	// sign-fold + soft de-rate-match scatter). On hosts without AVX2 the
+	// two columns measure the same code, so FusedVecPerRE* ≈ FusedPerRE*.
 	for _, cfg := range []struct {
-		mcs  phy.MCS
-		coef *float64
+		mcs    phy.MCS
+		scalar *float64
+		vector *float64
 	}{
-		{4, &m.FusedPerREQPSK},   // QPSK
-		{13, &m.FusedPerRE16QAM}, // 16-QAM
-		{22, &m.FusedPerRE64QAM}, // 64-QAM
+		{4, &m.FusedPerREQPSK, &m.FusedVecPerREQPSK},    // QPSK
+		{13, &m.FusedPerRE16QAM, &m.FusedVecPerRE16QAM}, // 16-QAM
+		{22, &m.FusedPerRE64QAM, &m.FusedVecPerRE64QAM}, // 64-QAM
 	} {
 		const nprb = 50
-		p, err := phy.NewTransportProcessor(cfg.mcs, nprb)
-		if err != nil {
-			return m, fmt.Errorf("cluster: calibrate fused front-end: %w", err)
-		}
-		payload := make([]byte, p.TransportBlockSize())
-		for i := range payload {
-			payload[i] = byte(rng.Intn(2))
-		}
-		syms, err := p.Encode(payload, 9, 301, 2, 0)
-		if err != nil {
-			return m, err
-		}
-		ch := phy.NewAWGNChannel(cfg.mcs.OperatingSNR()+5, 99)
-		rx := append([]complex128(nil), syms...)
-		ch.Apply(rx)
-		reps := 20
-		var el time.Duration
-		for i := 0; i < reps; i++ {
-			if _, err := p.Decode(rx, ch.N0(), 9, 301, 2, 0, nil); err != nil {
+		for _, col := range []struct {
+			coef     *float64
+			noVector bool
+		}{
+			{cfg.scalar, true},
+			{cfg.vector, false},
+		} {
+			p, err := phy.NewTransportProcessorOpts(cfg.mcs, nprb, phy.ProcOptions{
+				FrontEnd: phy.FrontEndFused, NoVectorFrontEnd: col.noVector,
+			})
+			if err != nil {
+				return m, fmt.Errorf("cluster: calibrate fused front-end: %w", err)
+			}
+			payload := make([]byte, p.TransportBlockSize())
+			for i := range payload {
+				payload[i] = byte(rng.Intn(2))
+			}
+			syms, err := p.Encode(payload, 9, 301, 2, 0)
+			if err != nil {
 				return m, err
 			}
-			el += p.Timings.FrontEnd
+			ch := phy.NewAWGNChannel(cfg.mcs.OperatingSNR()+5, 99)
+			rx := append([]complex128(nil), syms...)
+			ch.Apply(rx)
+			reps := 20
+			var el time.Duration
+			for i := 0; i < reps; i++ {
+				if _, err := p.Decode(rx, ch.N0(), 9, 301, 2, 0, nil); err != nil {
+					return m, err
+				}
+				el += p.Timings.FrontEnd
+			}
+			*col.coef = el.Seconds() / float64(reps) / float64(p.NumSymbols())
 		}
-		*cfg.coef = el.Seconds() / float64(reps) / float64(p.NumSymbols())
 	}
+	// The calibrated model mirrors the data plane's default front-end
+	// variant: vector tile kernels whenever the host supports them.
+	m.FrontEndVector = phy.FrontEndAVX2()
 
 	// Turbo decoding per information bit per iteration, measured once per
 	// kernel: fixed iteration count, no early termination.

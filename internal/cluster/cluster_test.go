@@ -321,6 +321,36 @@ func TestCostModelFrontEndSelection(t *testing.T) {
 	}
 }
 
+func TestCostModelFrontEndVectorSelection(t *testing.T) {
+	m := DefaultCostModel()
+	a := frame.Allocation{RNTI: 1, FirstPRB: 0, NumPRB: 100, MCS: 27, SNRdB: phy.MCS(27).OperatingSNR()}
+	scalar := m.AllocCost(a) // FrontEndVector defaults to false
+	vector := m.WithFrontEndVector(true).AllocCost(a)
+	if vector >= scalar {
+		t.Fatalf("vector fused alloc cost %v not below scalar %v", vector, scalar)
+	}
+	// WithFrontEndVector is a copy: the receiver must keep its variant.
+	if m.FrontEndVector {
+		t.Fatal("WithFrontEndVector mutated the receiver")
+	}
+	// The vector coefficients only apply to the fused front-end: the staged
+	// model must be indifferent to the knob.
+	st := m.WithFrontEnd(phy.FrontEndStaged)
+	if st.WithFrontEndVector(true).AllocCost(a) != st.AllocCost(a) {
+		t.Fatal("FrontEndVector changed the staged front-end cost")
+	}
+	// The parallel service-time model uses the same coefficient switch.
+	if vw, sw := m.WithFrontEndVector(true).AllocCostWorkers(a, 4), m.AllocCostWorkers(a, 4); vw >= sw {
+		t.Fatalf("vector fused parallel cost %v not below scalar %v", vw, sw)
+	}
+	// A zero vector coefficient must fail validation.
+	bad := m
+	bad.FusedVecPerRE16QAM = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero FusedVecPerRE16QAM accepted")
+	}
+}
+
 func TestCostModelBatchSelection(t *testing.T) {
 	m := DefaultCostModel().WithKernel(phy.KernelInt16)
 	a := frame.Allocation{RNTI: 1, FirstPRB: 0, NumPRB: 100, MCS: 27, SNRdB: phy.MCS(27).OperatingSNR()}
@@ -389,22 +419,58 @@ func TestCalibrateMeasuresBothKernels(t *testing.T) {
 		t.Fatalf("calibrated width-8 batch coefficient %.3g not below scalar int16 %.3g",
 			m.TurboPerBitIterI16Batch, m.TurboPerBitIterI16)
 	}
-	// The fused front-end coefficients must come out positive and below the
-	// staged per-RE totals they replace (demod + per-RE share of the
-	// descramble/dematch bit costs).
+	// The default-path fused coefficient (vector tiles on AVX2 hosts,
+	// scalar tiles otherwise — what the data plane's default actually
+	// runs) must come out positive and below the staged per-RE totals it
+	// replaces (demod + per-RE share of the descramble/dematch bit costs).
+	// The scalar-tile column only gets a loose sanity bound: under the
+	// race detector the pure-Go fused pass carries the same instrumented
+	// memory traffic as the staged sweeps and the gap closes to noise.
 	for _, c := range []struct {
-		name         string
-		fused, demod float64
-		bits         float64 // coded bits per RE
+		name                  string
+		scalarFused, vecFused float64
+		demod                 float64
+		bits                  float64 // coded bits per RE
 	}{
-		{"qpsk", m.FusedPerREQPSK, m.DemodPerREQPSK, 2},
-		{"16qam", m.FusedPerRE16QAM, m.DemodPerRE16QAM, 4},
-		{"64qam", m.FusedPerRE64QAM, m.DemodPerRE64QAM, 6},
+		{"qpsk", m.FusedPerREQPSK, m.FusedVecPerREQPSK, m.DemodPerREQPSK, 2},
+		{"16qam", m.FusedPerRE16QAM, m.FusedVecPerRE16QAM, m.DemodPerRE16QAM, 4},
+		{"64qam", m.FusedPerRE64QAM, m.FusedVecPerRE64QAM, m.DemodPerRE64QAM, 6},
 	} {
 		staged := c.demod + c.bits*(m.DescramblePerBit+m.DematchPerBit)
-		if c.fused <= 0 || c.fused >= staged {
-			t.Fatalf("calibrated fused %s coefficient %.3g not below staged %.3g",
-				c.name, c.fused, staged)
+		def := c.scalarFused
+		if phy.FrontEndAVX2() {
+			def = c.vecFused
 		}
+		if def <= 0 || def >= staged {
+			t.Fatalf("calibrated fused %s coefficient %.3g not below staged %.3g",
+				c.name, def, staged)
+		}
+		if c.scalarFused <= 0 || c.scalarFused >= 1.5*staged {
+			t.Fatalf("calibrated scalar fused %s coefficient %.3g implausible against staged %.3g",
+				c.name, c.scalarFused, staged)
+		}
+	}
+	// The vector column must be populated, and the calibrated model must
+	// mirror the data plane's default variant. On AVX2 hosts the tile
+	// kernels must beat the scalar tiles (generous slack for CI noise).
+	for _, c := range []struct {
+		name           string
+		scalar, vector float64
+	}{
+		{"qpsk", m.FusedPerREQPSK, m.FusedVecPerREQPSK},
+		{"16qam", m.FusedPerRE16QAM, m.FusedVecPerRE16QAM},
+		{"64qam", m.FusedPerRE64QAM, m.FusedVecPerRE64QAM},
+	} {
+		if c.vector <= 0 {
+			t.Fatalf("calibrated vector fused %s coefficient %.3g not positive", c.name, c.vector)
+		}
+		if phy.FrontEndAVX2() && c.vector >= 1.2*c.scalar {
+			t.Fatalf("calibrated vector fused %s coefficient %.3g not below scalar %.3g on an AVX2 host",
+				c.name, c.vector, c.scalar)
+		}
+	}
+	if m.FrontEndVector != phy.FrontEndAVX2() {
+		t.Fatalf("calibrated FrontEndVector %v does not mirror phy.FrontEndAVX2() %v",
+			m.FrontEndVector, phy.FrontEndAVX2())
 	}
 }

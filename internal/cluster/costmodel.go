@@ -51,6 +51,15 @@ type CostModel struct {
 	FusedPerREQPSK  float64
 	FusedPerRE16QAM float64
 	FusedPerRE64QAM float64
+	// FusedVecPerREQPSK/16/64 is the fused front-end cost per resource
+	// element with the AVX2 tile pipeline (phy.FrontEndAVX2() true): tile
+	// demodulation and descrambling run 8 symbols per iteration in
+	// assembly. On hosts without AVX2 the calibrator sets these equal to
+	// the scalar FusedPerRE* coefficients. Charged instead of FusedPerRE*
+	// when FrontEndVector is set.
+	FusedVecPerREQPSK  float64
+	FusedVecPerRE16QAM float64
+	FusedVecPerRE64QAM float64
 	// TurboPerBitIter is the turbo-decode cost per information bit per
 	// full iteration with the float32 reference kernel — the dominant
 	// coefficient.
@@ -84,6 +93,11 @@ type CostModel struct {
 	// mirroring dataplane.Config.FrontEnd. Use WithFrontEnd to derive a
 	// model for the other front-end.
 	FrontEnd phy.FrontEnd
+	// FrontEndVector selects the AVX2 tile coefficients (FusedVecPerRE*)
+	// for the fused front-end, mirroring the data plane's default of
+	// phy.FrontEndAVX2() && !NoVectorFrontEnd. It has no effect on the
+	// staged front-end. Use WithFrontEndVector to derive the other variant.
+	FrontEndVector bool
 	// Batch is the lockstep batch width the cost queries assume, mirroring
 	// dataplane.Config.DecodeBatch (0 or 1 = scalar per-block decode). It
 	// only affects the int16 kernel: the turbo coefficient interpolates
@@ -104,6 +118,13 @@ func (m CostModel) WithKernel(k phy.DecodeKernel) CostModel {
 // decode front-end at the given variant's calibrated coefficients.
 func (m CostModel) WithFrontEnd(fe phy.FrontEnd) CostModel {
 	m.FrontEnd = fe
+	return m
+}
+
+// WithFrontEndVector returns a copy of the model whose cost queries charge
+// the fused front-end at the vector (AVX2 tile) or scalar coefficients.
+func (m CostModel) WithFrontEndVector(v bool) CostModel {
+	m.FrontEndVector = v
 	return m
 }
 
@@ -148,6 +169,9 @@ func DefaultCostModel() CostModel {
 		FusedPerREQPSK:          11e-9,
 		FusedPerRE16QAM:         20e-9,
 		FusedPerRE64QAM:         33e-9,
+		FusedVecPerREQPSK:       5e-9,
+		FusedVecPerRE16QAM:      8e-9,
+		FusedVecPerRE64QAM:      13e-9,
 		TurboPerBitIter:         28e-9,
 		TurboPerBitIterI16:      9e-9,
 		TurboPerBitIterI16Batch: 2.4e-9,
@@ -163,6 +187,7 @@ func (m CostModel) Validate() error {
 		m.FFTPerButterfly, m.DemodPerREQPSK, m.DemodPerRE16QAM, m.DemodPerRE64QAM,
 		m.DescramblePerBit, m.DematchPerBit,
 		m.FusedPerREQPSK, m.FusedPerRE16QAM, m.FusedPerRE64QAM,
+		m.FusedVecPerREQPSK, m.FusedVecPerRE16QAM, m.FusedVecPerRE64QAM,
 		m.TurboPerBitIter, m.TurboPerBitIterI16, m.TurboPerBitIterI16Batch,
 		m.CRCPerBit, m.EncodePerBit, m.DispatchPerBlock,
 	} {
@@ -194,8 +219,19 @@ func (m CostModel) demodPerRE(mod phy.Modulation) float64 {
 	}
 }
 
-// fusedPerRE selects the per-RE fused front-end coefficient.
+// fusedPerRE selects the per-RE fused front-end coefficient for the
+// model's tile-kernel variant (vector vs scalar).
 func (m CostModel) fusedPerRE(mod phy.Modulation) float64 {
+	if m.FrontEndVector {
+		switch mod {
+		case phy.QAM16:
+			return m.FusedVecPerRE16QAM
+		case phy.QAM64:
+			return m.FusedVecPerRE64QAM
+		default:
+			return m.FusedVecPerREQPSK
+		}
+	}
 	switch mod {
 	case phy.QAM16:
 		return m.FusedPerRE16QAM

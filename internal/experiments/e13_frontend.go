@@ -24,44 +24,64 @@ func E13FrontEndAblation(quick bool) (Result, error) {
 	reps := 3
 	if quick {
 		mcsGrid = []phy.MCS{13, 27}
-		reps = 1
+		// Each stage here is sub-millisecond, so a single rep jitters by
+		// ±10% on a loaded host and the quick-run ratios (which both the
+		// shape test and the CI floor gate on) flake; a few reps per round
+		// (plus the two-round min below) stabilize them while keeping the
+		// quick run under a couple of seconds.
+		reps = 3
 	}
 	res := Result{
 		ID:      "E13",
 		Title:   "Front-end ablation: fused single-pass vs staged demod→descramble→dematch",
-		Header:  []string{"mcs", "fe-staged(ms)", "fe-fused(ms)", "fe-speedup", "e2e-f32", "e2e-i16"},
+		Header:  []string{"mcs", "fe-staged(ms)", "fe-fused-sc(ms)", "fe-fused(ms)", "fe-speedup", "e2e-f32", "e2e-i16"},
 		Metrics: map[string]float64{},
 	}
 	for _, mcs := range mcsGrid {
 		seed := int64(mcs)*1301 + 7
-		sf, err := measureDecode(mcs, 100, reps, seed, 1, phy.KernelFloat32, phy.FrontEndStaged)
-		if err != nil {
-			return res, err
+		// Five configurations, measured in two interleaved rounds merged
+		// with a stage-wise min: every metric below is a ratio between
+		// configurations, so what matters is that no single configuration
+		// is sampled only inside a slow window. The third configuration is
+		// the fused pass with the pure-Go tile kernels pinned
+		// (NoVectorFrontEnd) — it isolates the algorithmic fusion win from
+		// the AVX2 vectorization win (which E18 measures in full).
+		cfgs := []phy.ProcOptions{
+			{Workers: 1, Kernel: phy.KernelFloat32, FrontEnd: phy.FrontEndStaged},
+			{Workers: 1, Kernel: phy.KernelFloat32, FrontEnd: phy.FrontEndFused},
+			{Workers: 1, Kernel: phy.KernelFloat32, FrontEnd: phy.FrontEndFused, NoVectorFrontEnd: true},
+			{Workers: 1, Kernel: phy.KernelInt16, FrontEnd: phy.FrontEndStaged},
+			{Workers: 1, Kernel: phy.KernelInt16, FrontEnd: phy.FrontEndFused},
 		}
-		ff, err := measureDecode(mcs, 100, reps, seed, 1, phy.KernelFloat32, phy.FrontEndFused)
-		if err != nil {
-			return res, err
+		st := make([]phy.StageTimings, len(cfgs))
+		for round := 0; round < 2; round++ {
+			for i, o := range cfgs {
+				t, err := measureDecodeOpts(mcs, 100, reps, seed, o)
+				if err != nil {
+					return res, err
+				}
+				if round == 0 {
+					st[i] = t
+				} else {
+					st[i] = minStages(st[i], t)
+				}
+			}
 		}
-		si, err := measureDecode(mcs, 100, reps, seed, 1, phy.KernelInt16, phy.FrontEndStaged)
-		if err != nil {
-			return res, err
-		}
-		fi, err := measureDecode(mcs, 100, reps, seed, 1, phy.KernelInt16, phy.FrontEndFused)
-		if err != nil {
-			return res, err
-		}
+		sf, ff, fsc, si, fi := st[0], st[1], st[2], st[3], st[4]
 		// Front-end comparison on the float32 runs (the bit chain is
 		// kernel-independent): three staged sweeps vs the one fused pass,
 		// with the CRC check — the only remaining serial stage — on both
 		// sides of the ratio.
 		feStaged := (sf.Demodulate + sf.Descramble + sf.Dematch + sf.CRCCheck).Seconds()
 		feFused := (ff.FrontEnd + ff.CRCCheck).Seconds()
+		feFusedSc := (fsc.FrontEnd + fsc.CRCCheck).Seconds()
 		feSpeedup := feStaged / feFused
 		e2eF32 := sf.Total().Seconds() / ff.Total().Seconds()
 		e2eI16 := si.Total().Seconds() / fi.Total().Seconds()
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("%d", mcs),
 			ms(feStaged),
+			ms(feFusedSc),
 			ms(feFused),
 			fmt.Sprintf("%.2fx", feSpeedup),
 			fmt.Sprintf("%.2fx", e2eF32),
@@ -88,6 +108,7 @@ func E13FrontEndAblation(quick bool) (Result, error) {
 	}
 	res.Notes = append(res.Notes,
 		"fe columns: demod+descramble+dematch+crc at 100 PRB, single worker, op+3 dB; fused path reports one combined FrontEnd time",
+		"fe-fused-sc: the fused pass with the pure-Go tile kernels (NoVectorFrontEnd); fe-fused and the fe-speedup metric use the default pipeline, AVX2 tiles when the host has them (E18 isolates that gap)",
 		"e2e columns: whole-decode speedup staged→fused per turbo kernel; larger under int16 because the turbo share shrinks")
 	return res, nil
 }

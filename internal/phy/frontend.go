@@ -1,9 +1,6 @@
 package phy
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // FrontEnd selects how TransportProcessor.Decode runs the pre-turbo bit
 // chain (demodulate → descramble → soft de-rate-match). Like DecodeKernel,
@@ -50,24 +47,29 @@ func (f FrontEnd) Validate() error {
 	return fmt.Errorf("phy: unsupported front-end %d: %w", uint8(f), ErrBadParameter)
 }
 
-// frontEndBlock runs the fused front-end for code block i: it walks the rate
-// matcher's circular buffer from the redundancy-version offset and, for each
-// non-<NULL> position, demodulates the covering symbol (cached per symbol —
-// code-block boundaries may split a symbol, which the symIdx/bitInSym
-// counters handle without division), applies the descrambling sign flip from
-// the pregenerated keystream words, and accumulates into the block's soft
-// streams. Accumulation order per position is identical to the staged
-// Demodulate → DescrambleLLR → SoftDematch sweeps, and every float expression
-// matches them, so the soft buffer contents are bit-identical to the oracle.
+// frontEndBlock runs the fused front-end for code block i through the
+// two-phase tile pipeline (frontend_tile.go): per tile of up to feTileSyms
+// symbols, phase 1 expands the block's keystream bits into plane-major
+// sign words and demodulates the tile into a structure-of-arrays LLR strip
+// with the descrambling XOR folded in (AVX2 assembly where available,
+// bit-identical pure-Go tile kernels otherwise), and phase 2 scatters the
+// finished strip through the rate matcher's compacted inverse permutation
+// into the block's soft streams. Accumulation order per position is
+// identical to the staged Demodulate → DescrambleLLR → SoftDematch sweeps,
+// and every float expression matches them, so the soft buffer contents are
+// bit-identical to the oracle.
 //
 // Concurrency: when invoked from ParallelDecoder workers, frontEndBlock
 // reads only shared-immutable call state (feRX, feKey, feRV, feInvN0, the
 // rate-match tables — published by the wake-channel send) and writes only
-// block i's private soft streams, so concurrent invocations for distinct
-// blocks never touch the same memory. See docs/concurrency.md.
+// block i's private soft streams. The tile working set (LLR strip + sign
+// words, ~12 KiB) lives on the invoking worker's stack, so concurrent
+// invocations for distinct blocks never touch the same memory — not even
+// scratch. See docs/concurrency.md.
 func (p *TransportProcessor) frontEndBlock(i int) {
 	rm := p.rm
 	mod := p.mcs.Modulation()
+	qm := mod.BitsPerSymbol()
 	off := p.blockOff[i]
 	e := p.blockE(i)
 	// blk is block i's contiguous soft-buffer region, laid out d0|d1|d2 —
@@ -78,24 +80,40 @@ func (p *TransportProcessor) frontEndBlock(i int) {
 	key := p.feKey
 	rx := p.feRX
 	invN0 := p.feInvN0
-
 	j := rm.rvStart[p.feRV]
-	// Symbol-major walk, specialized per modulation so the axis metrics stay
-	// hand-inlined in registers (see the feBlock* functions below).
-	switch mod {
-	case QPSK:
-		feBlockQPSK(blk, rm.scat, key, rx, invN0, off, e, j)
-	case QAM16:
-		feBlock16(blk, rm.scat, key, rx, invN0, off, e, j)
-	default:
-		feBlock64(blk, rm.scat, key, rx, invN0, off, e, j)
+
+	// Tile working set, stack-allocated (the AVX2 kernels are
+	// go:noescape): 6 planes × feTileSyms for the widest modulation.
+	var strip [6 * feTileSyms]float32
+	var sgn [6 * feTileSyms]uint32
+
+	// A block's bit range [off, off+e) may start and end mid-symbol; the
+	// tile loop covers the symbols and feScatter consumes only the bits the
+	// block owns, so boundary symbols are demodulated (cheaply, into the
+	// strip) but scattered partially.
+	end := off + e
+	symEnd := (end - 1) / qm
+	bit := off
+	for s0 := off / qm; s0 <= symEnd; s0 += feTileSyms {
+		n := symEnd - s0 + 1
+		if n > feTileSyms {
+			n = feTileSyms
+		}
+		feExpandSigns(sgn[:], key, s0, n, qm, feTileSyms, p.feVec)
+		feTileDemod(mod, strip[:], sgn[:], rx[s0:s0+n], n, feTileSyms, invN0, p.feVec)
+		hi := (s0 + n) * qm
+		if hi > end {
+			hi = end
+		}
+		j = feScatter(blk, rm.scat, strip[:], feTileSyms, qm, bit-s0*qm, hi-s0*qm, j)
+		bit = hi
 	}
 	if i == 0 {
 		// Pin filler bits (known zeros at the head of block 0); only block
 		// 0's front-end touches ld0[0], so this stays race-free under the
 		// parallel overlap.
-		for j := 0; j < p.seg.F; j++ {
-			blk[j] = fillerLLR
+		for f := 0; f < p.seg.F; f++ {
+			blk[f] = fillerLLR
 		}
 	}
 }
@@ -104,244 +122,4 @@ func (p *TransportProcessor) frontEndBlock(i int) {
 // published, so a completed Decode retains no caller memory.
 func (p *TransportProcessor) clearFrontEndState() {
 	p.feRX, p.feKey, p.feSB = nil, nil, nil
-}
-
-// The feBlock* functions are frontEndBlock's per-modulation inner loops.
-// Each demodulates one symbol into registers (the axis metrics are the
-// *AxisLLRFast bodies hand-inlined — the compiler's budget refuses them as
-// calls, and a call per axis costs more than the math), XORs the keystream
-// sign in, and scatters through the compacted rate-match table. A symbol
-// consumed whole takes the unrolled path, with its keystream bits pulled
-// from one two-word load (the scrambler's guard word makes key[wi+1] always
-// addressable); the partial symbols at code-block boundaries fall back to a
-// counted loop over a cached LLR array. Bit-exactness contract: every float
-// expression matches demodSymbolLLRs / the *AxisLLRFast helpers exactly —
-// change them together or the fused-vs-staged property tests will fail.
-
-// feBlockQPSK scatters one code block's worth of QPSK LLRs.
-func feBlockQPSK(blk []float32, scat []int32, key []uint32, rx []complex128, invN0 float64, off, e, j int) {
-	nd := len(scat)
-	c := 4 * qpskA * invN0
-	symIdx := off / 2
-	bitInSym := off % 2
-	g := off
-	for n := 0; n < e; {
-		s := rx[symIdx]
-		symIdx++
-		c0 := float32(c * real(s))
-		c1 := float32(c * imag(s))
-		if bitInSym == 0 && e-n >= 2 {
-			wi := g >> 5
-			w := uint32((uint64(key[wi+1])<<32 | uint64(key[wi])) >> (uint(g) & 31))
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c0) ^ (w&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c1) ^ (w>>1&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			g += 2
-			n += 2
-			continue
-		}
-		cache := [2]float32{c0, c1}
-		top := bitInSym + (e - n)
-		if top > 2 {
-			top = 2
-		}
-		for b := bitInSym; b < top; b++ {
-			kb := (key[g>>5] >> (uint(g) & 31)) & 1
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(cache[b]) ^ kb<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			g++
-		}
-		n += top - bitInSym
-		bitInSym = 0
-	}
-}
-
-// feBlock16 scatters one code block's worth of 16-QAM LLRs.
-func feBlock16(blk []float32, scat []int32, key []uint32, rx []complex128, invN0 float64, off, e, j int) {
-	nd := len(scat)
-	a := qam16A
-	symIdx := off / 4
-	bitInSym := off % 4
-	g := off
-	for n := 0; n < e; {
-		s := rx[symIdx]
-		symIdx++
-
-		bi := math.Float64bits(real(s))
-		si := bi & f64Sign
-		iyi := int64(bi &^ f64Sign)
-		yi := math.Float64frombits(uint64(iyi))
-		segI := int(uint64(q16cmp2a-iyi) >> 63)
-		ri := &qam16Tab[segI&1]
-		mi := ri.l0s*yi - ri.l0o
-		i0 := math.Float64frombits(math.Float64bits(mi) ^ si)
-		i1 := 4 * a * (2*a - yi)
-
-		bq := math.Float64bits(imag(s))
-		sq := bq & f64Sign
-		iyq := int64(bq &^ f64Sign)
-		yq := math.Float64frombits(uint64(iyq))
-		segQ := int(uint64(q16cmp2a-iyq) >> 63)
-		rq := &qam16Tab[segQ&1]
-		mq := rq.l0s*yq - rq.l0o
-		q0 := math.Float64frombits(math.Float64bits(mq) ^ sq)
-		q1 := 4 * a * (2*a - yq)
-
-		c0 := float32(i0 * invN0)
-		c1 := float32(q0 * invN0)
-		c2 := float32(i1 * invN0)
-		c3 := float32(q1 * invN0)
-
-		if bitInSym == 0 && e-n >= 4 {
-			wi := g >> 5
-			w := uint32((uint64(key[wi+1])<<32 | uint64(key[wi])) >> (uint(g) & 31))
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c0) ^ (w&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c1) ^ (w>>1&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c2) ^ (w>>2&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c3) ^ (w>>3&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			g += 4
-			n += 4
-			continue
-		}
-		cache := [4]float32{c0, c1, c2, c3}
-		top := bitInSym + (e - n)
-		if top > 4 {
-			top = 4
-		}
-		for b := bitInSym; b < top; b++ {
-			kb := (key[g>>5] >> (uint(g) & 31)) & 1
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(cache[b]) ^ kb<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			g++
-		}
-		n += top - bitInSym
-		bitInSym = 0
-	}
-}
-
-// feBlock64 scatters one code block's worth of 64-QAM LLRs.
-func feBlock64(blk []float32, scat []int32, key []uint32, rx []complex128, invN0 float64, off, e, j int) {
-	nd := len(scat)
-	a := qam64A
-	symIdx := off / 6
-	bitInSym := off % 6
-	g := off
-	for n := 0; n < e; {
-		s := rx[symIdx]
-		symIdx++
-
-		bi := math.Float64bits(real(s))
-		si := bi & f64Sign
-		iyi := int64(bi &^ f64Sign)
-		yi := math.Float64frombits(uint64(iyi))
-		segI := int(uint64(q64cmp2a-iyi)>>63) + int(uint64(q64cmp4a-iyi)>>63) + int(uint64(q64cmp6a-iyi)>>63)
-		ri := &qam64Tab[segI&3]
-		mi := ri.l0s*yi - ri.l0o
-		i0 := math.Float64frombits(math.Float64bits(mi) ^ si)
-		i1 := ri.l1c - ri.l1s*yi
-		ti := 4 * a * yi
-		i2 := ri.l2s*ti + ri.l2c
-
-		bq := math.Float64bits(imag(s))
-		sq := bq & f64Sign
-		iyq := int64(bq &^ f64Sign)
-		yq := math.Float64frombits(uint64(iyq))
-		segQ := int(uint64(q64cmp2a-iyq)>>63) + int(uint64(q64cmp4a-iyq)>>63) + int(uint64(q64cmp6a-iyq)>>63)
-		rq := &qam64Tab[segQ&3]
-		mq := rq.l0s*yq - rq.l0o
-		q0 := math.Float64frombits(math.Float64bits(mq) ^ sq)
-		q1 := rq.l1c - rq.l1s*yq
-		tq := 4 * a * yq
-		q2 := rq.l2s*tq + rq.l2c
-
-		c0 := float32(i0 * invN0)
-		c1 := float32(q0 * invN0)
-		c2 := float32(i1 * invN0)
-		c3 := float32(q1 * invN0)
-		c4 := float32(i2 * invN0)
-		c5 := float32(q2 * invN0)
-
-		if bitInSym == 0 && e-n >= 6 {
-			wi := g >> 5
-			w := uint32((uint64(key[wi+1])<<32 | uint64(key[wi])) >> (uint(g) & 31))
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c0) ^ (w&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c1) ^ (w>>1&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c2) ^ (w>>2&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c3) ^ (w>>3&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c4) ^ (w>>4&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(c5) ^ (w>>5&1)<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			g += 6
-			n += 6
-			continue
-		}
-		cache := [6]float32{c0, c1, c2, c3, c4, c5}
-		top := bitInSym + (e - n)
-		if top > 6 {
-			top = 6
-		}
-		for b := bitInSym; b < top; b++ {
-			kb := (key[g>>5] >> (uint(g) & 31)) & 1
-			blk[scat[j]] += math.Float32frombits(math.Float32bits(cache[b]) ^ kb<<31)
-			j++
-			if j == nd {
-				j = 0
-			}
-			g++
-		}
-		n += top - bitInSym
-		bitInSym = 0
-	}
 }

@@ -1,0 +1,114 @@
+//go:build amd64 && !purego
+
+package phy
+
+import "math"
+
+// AVX2 path for the fused front-end's phase-1 tile demodulation
+// (frontend_avx2_amd64.s). Each kernel consumes 8 symbols per loop
+// iteration as two 4-lane float64 groups: deinterleave the complex128
+// stream into re/im vectors, evaluate the piecewise-linear Gray axis
+// metrics with VPCMPGTQ segment selects (the vector twin of the scalar
+// integer borrow-bit trick — comparing the abs float bit patterns as
+// int64 is exact, including for NaNs, where a float compare would
+// diverge) and VBLENDVPD row selection from the broadcast coefficient
+// blocks below, scale by invN0, narrow with VCVTPD2PS (round-to-nearest-
+// even, the same rounding as Go's float64→float32 conversion), and XOR
+// the pre-expanded keystream sign words in on the way to the plane-major
+// strip. No FMA anywhere: the Go compiler never contracts mul+add on
+// amd64, so the assembly keeps separate VMULPD/VADDPD/VSUBPD to stay
+// bit-identical to the tile fallback.
+//
+// Build with -tags purego (or on non-amd64) to drop this path; feAsm is
+// also false at runtime when the CPU or OS lacks AVX2/YMM support.
+
+// feAsm reports whether the AVX2 tile-demodulation path is usable on this
+// CPU (AVX2 plus OS-enabled YMM state, probed once at init — the probe is
+// shared with the batch decoder).
+var feAsm = cpuHasAVX2()
+
+// FrontEndAVX2 reports whether the fused front-end runs its AVX2 tile
+// demodulation on this build and CPU (false means the bit-identical
+// pure-Go tile kernels).
+func FrontEndAVX2() bool { return feAsm }
+
+// feC16 and feC64 are the broadcast coefficient blocks the QAM tile
+// kernels read (layouts in frontend_tile.go, offsets pinned by
+// TestFEConstOffsets). Filling them at init from the scalar tables —
+// rather than hardcoding hex in DATA directives — guarantees the lanes
+// hold the exact math.Sqrt-derived bit patterns the scalar path uses.
+var (
+	feC16 feQAM16Consts
+	feC64 feQAM64Consts
+)
+
+func init() {
+	b := func(v float64) [4]float64 { return [4]float64{v, v, v, v} }
+	bi := func(v int64) [4]int64 { return [4]int64{v, v, v, v} }
+	bu := func(v uint64) [4]uint64 { return [4]uint64{v, v, v, v} }
+
+	feC16.cmp2a = bi(q16cmp2a)
+	for r := range qam16Tab {
+		feC16.l0s[r] = b(qam16Tab[r].l0s)
+		feC16.l0o[r] = b(qam16Tab[r].l0o)
+	}
+	feC16.twoA = b(2 * qam16A)
+	feC16.fourA = b(4 * qam16A)
+	feC16.signMask = bu(f64Sign)
+	feC16.absMask = bu(^uint64(f64Sign))
+
+	feC64.cmp2a = bi(q64cmp2a)
+	feC64.cmp4a = bi(q64cmp4a)
+	feC64.cmp6a = bi(q64cmp6a)
+	// 64-QAM coefficients are packed by segment — lane r = row r — for the
+	// kernel's VPERMD row select.
+	for r := range qam64Tab {
+		feC64.l0s[r] = qam64Tab[r].l0s
+		feC64.l0o[r] = qam64Tab[r].l0o
+		feC64.l1c[r] = qam64Tab[r].l1c
+		feC64.l1s[r] = qam64Tab[r].l1s
+		feC64.l2s[r] = qam64Tab[r].l2s
+		feC64.l2c[r] = qam64Tab[r].l2c
+	}
+	feC64.fourA = b(4 * qam64A)
+	feC64.signMask = bu(f64Sign)
+	feC64.absMask = bu(^uint64(f64Sign))
+	feC64.idxAdd = [8]uint32{0, 1, 0, 1, 0, 1, 0, 1}
+
+	// Package-level vars initialize before init funcs run, so the source
+	// tables are populated here; a zero slope would mean that ordering
+	// regressed (e.g. the tables moved behind their own init func).
+	if feC16.l0s[0][0] == 0 || feC64.l0s[0] == 0 || !math.Signbit(feC64.l2c[0]) {
+		panic("phy: front-end coefficient blocks initialized before tables")
+	}
+}
+
+// feTileQPSKAVX2 demodulates tile symbols [0, n) (n > 0, n%8 == 0) into
+// the two QPSK planes of strip with the sgn sign words XORed in; c is
+// 4*qpskA*invN0 and stride the plane stride in float32 elements.
+//
+//go:noescape
+func feTileQPSKAVX2(rx *complex128, strip *float32, sgn *uint32, n int, c float64, stride int)
+
+// feTile16AVX2 demodulates tile symbols [0, n) (n > 0, n%8 == 0) into the
+// four 16-QAM planes of strip with the sgn sign words XORed in.
+//
+//go:noescape
+func feTile16AVX2(rx *complex128, strip *float32, sgn *uint32, n int, invN0 float64, stride int, consts *feQAM16Consts)
+
+// feTile64AVX2 demodulates tile symbols [0, n) (n > 0, n%8 == 0) into the
+// six 64-QAM planes of strip with the sgn sign words XORed in.
+//
+//go:noescape
+func feTile64AVX2(rx *complex128, strip *float32, sgn *uint32, n int, invN0 float64, stride int, consts *feQAM64Consts)
+
+// feExpandSignsAVX2 expands keystream bits into plane-major sign words for
+// tile entries [0, n) of all qm planes (n > 0, n%4 == 0): for each plane b,
+// sgn[b*stride+t] = bit g0+t*qm+b of the keystream, shifted to the float32
+// sign position. Four entries per step: broadcast a 64-bit keystream window
+// and extract the plane's bits with per-lane variable shifts (VPSRLVQ).
+// Reads the same key[wi], key[wi+1] word pairs as the scalar expansion, so
+// the scrambler's guard word covers it.
+//
+//go:noescape
+func feExpandSignsAVX2(sgn *uint32, key *uint32, g0, n, stride, qm int)

@@ -1,0 +1,62 @@
+//go:build amd64 && !purego
+
+package phy
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestFEConstOffsets pins the coefficient-block field offsets the assembly
+// kernels read by literal displacement (frontend_avx2_amd64.s). A field
+// added or reordered in feQAM16Consts/feQAM64Consts without updating the
+// .s offsets would silently load the wrong coefficients; this test turns
+// that into a failure with the field's name.
+func TestFEConstOffsets(t *testing.T) {
+	var c16 feQAM16Consts
+	off16 := map[string]uintptr{
+		"cmp2a":    unsafe.Offsetof(c16.cmp2a),
+		"l0s":      unsafe.Offsetof(c16.l0s),
+		"l0o":      unsafe.Offsetof(c16.l0o),
+		"twoA":     unsafe.Offsetof(c16.twoA),
+		"fourA":    unsafe.Offsetof(c16.fourA),
+		"signMask": unsafe.Offsetof(c16.signMask),
+		"absMask":  unsafe.Offsetof(c16.absMask),
+	}
+	want16 := map[string]uintptr{
+		"cmp2a": 0, "l0s": 32, "l0o": 96, "twoA": 160,
+		"fourA": 192, "signMask": 224, "absMask": 256,
+	}
+	for f, want := range want16 {
+		if off16[f] != want {
+			t.Errorf("feQAM16Consts.%s at offset %d, assembly expects %d", f, off16[f], want)
+		}
+	}
+
+	var c64 feQAM64Consts
+	off64 := map[string]uintptr{
+		"cmp2a":    unsafe.Offsetof(c64.cmp2a),
+		"cmp4a":    unsafe.Offsetof(c64.cmp4a),
+		"cmp6a":    unsafe.Offsetof(c64.cmp6a),
+		"l0s":      unsafe.Offsetof(c64.l0s),
+		"l0o":      unsafe.Offsetof(c64.l0o),
+		"l1c":      unsafe.Offsetof(c64.l1c),
+		"l1s":      unsafe.Offsetof(c64.l1s),
+		"l2s":      unsafe.Offsetof(c64.l2s),
+		"l2c":      unsafe.Offsetof(c64.l2c),
+		"fourA":    unsafe.Offsetof(c64.fourA),
+		"signMask": unsafe.Offsetof(c64.signMask),
+		"absMask":  unsafe.Offsetof(c64.absMask),
+		"idxAdd":   unsafe.Offsetof(c64.idxAdd),
+	}
+	want64 := map[string]uintptr{
+		"cmp2a": 0, "cmp4a": 32, "cmp6a": 64,
+		"l0s": 96, "l0o": 128, "l1c": 160, "l1s": 192, "l2s": 224, "l2c": 256,
+		"fourA": 288, "signMask": 320, "absMask": 352, "idxAdd": 384,
+	}
+	for f, want := range want64 {
+		if off64[f] != want {
+			t.Errorf("feQAM64Consts.%s at offset %d, assembly expects %d", f, off64[f], want)
+		}
+	}
+}

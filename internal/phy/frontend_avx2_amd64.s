@@ -1,0 +1,350 @@
+//go:build !purego
+
+// AVX2 tile demodulation for the fused uplink front-end (phase 1 of the
+// two-phase pipeline in frontend_tile.go). Each kernel consumes 8 symbols
+// per loop iteration as two 4-lane float64 groups:
+//
+//   1. deinterleave the complex128 stream: two 256-bit loads hold
+//      [re0 im0 re1 im1] and [re2 im2 re3 im3]; VPERM2F128 pairs same-
+//      parity symbols across the loads and VUNPCKL/HPD split them into a
+//      re vector and an im vector;
+//   2. per axis, evaluate the piecewise-linear Gray metric: abs/sign by
+//      masking the float64 sign bit, segment select by VPCMPGTQ on the
+//      magnitude bit patterns against the boundary patterns (the vector
+//      twin of the scalar integer borrow-bit trick — exact for every
+//      input, NaNs included, where a float compare would diverge), then
+//      pick the segment's coefficient rows — VBLENDVPD from the broadcast
+//      block for 16-QAM's two rows, VPERMD on packed row tables for
+//      64-QAM's four (see feQAM16Consts/feQAM64Consts in frontend_tile.go
+//      for the pinned offsets);
+//   3. scale by invN0, narrow with VCVTPD2PS (round-to-nearest-even — the
+//      same rounding as Go's float64→float32 conversion), XOR the
+//      pre-expanded keystream sign words in, and store 4 floats to the
+//      plane-major strip.
+//
+// Bit-exactness: the arithmetic is literally the scalar tile kernels'
+// (feTile*Go) four lanes at a time — same multiply order, separate
+// VMULPD/VADDPD/VSUBPD everywhere (the Go compiler never contracts
+// mul+add into FMA on amd64, so neither may we), sign application by XOR
+// before the invN0 scale. Descrambling costs one VXORPS against sign
+// words the Go side expanded from the keystream.
+//
+// Register conventions per kernel are documented at each TEXT block.
+// n > 0 and n%8 == 0 (the Go dispatcher peels the ragged tail); stride is
+// the plane stride in float32 elements.
+
+#include "textflag.h"
+
+// QPSKBODY demodulates 4 symbols at rx offsets o0/o1 into plane bytes
+// po of the strip. Y15 = 4*qpskA*invN0 broadcast; R9 = plane stride in
+// bytes; temps Y0-Y6.
+#define QPSKBODY(o0, o1, po) \
+	VMOVUPD    o0(SI), Y0               \
+	VMOVUPD    o1(SI), Y1               \
+	VPERM2F128 $0x20, Y1, Y0, Y2        \
+	VPERM2F128 $0x31, Y1, Y0, Y3        \
+	VUNPCKLPD  Y3, Y2, Y4               \ // re0..re3
+	VUNPCKHPD  Y3, Y2, Y5               \ // im0..im3
+	VMULPD     Y15, Y4, Y4              \
+	VMULPD     Y15, Y5, Y5              \
+	VCVTPD2PSY Y4, X4                   \
+	VCVTPD2PSY Y5, X5                   \
+	VMOVUPS    po(R8), X6               \
+	VXORPS     X6, X4, X4               \
+	VMOVUPS    X4, po(DI)               \
+	VMOVUPS    po(R8)(R9*1), X6         \
+	VXORPS     X6, X5, X5               \
+	VMOVUPS    X5, po(DI)(R9*1)
+
+// func feTileQPSKAVX2(rx *complex128, strip *float32, sgn *uint32, n int, c float64, stride int)
+//
+// SI = rx, DI = strip, R8 = sgn, CX = remaining symbols, R9 = stride
+// bytes, Y15 = c broadcast.
+TEXT ·feTileQPSKAVX2(SB), NOSPLIT, $0-48
+	MOVQ         rx+0(FP), SI
+	MOVQ         strip+8(FP), DI
+	MOVQ         sgn+16(FP), R8
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD c+32(FP), Y15
+	MOVQ         stride+40(FP), R9
+	SHLQ         $2, R9
+
+qpskLoop:
+	QPSKBODY(0, 32, 0)
+	QPSKBODY(64, 96, 16)
+	ADDQ $128, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	SUBQ $8, CX
+	JG   qpskLoop
+	VZEROUPPER
+	RET
+
+// Q16AXIS evaluates the two 16-QAM bit metrics for one axis (4 lanes in
+// SRC) and stores them descrambled: D0/S0 = l0 plane strip/sign operands,
+// D1/S1 = l1 plane. Constants: Y15 = invN0, Y14 = cmp2a, Y13 = signMask,
+// Y12 = absMask, Y11 = twoA, Y10 = fourA; BX = &feC16 (row offsets per
+// feQAM16Consts). Temps Y0-Y6.
+#define Q16AXIS(SRC, D0, S0, D1, S1) \
+	VANDPD     Y12, SRC, Y0             \ // y = |x|
+	VANDPD     Y13, SRC, Y1             \ // sign bit of x
+	VPCMPGTQ   Y14, Y0, Y2              \ // y > 2a (int64 on bit patterns)
+	VMOVUPD    32(BX), Y3               \ // l0s row 0
+	VBLENDVPD  Y2, 64(BX), Y3, Y3       \ // l0s row 1
+	VMOVUPD    96(BX), Y4               \ // l0o row 0
+	VBLENDVPD  Y2, 128(BX), Y4, Y4      \ // l0o row 1
+	VMULPD     Y0, Y3, Y3               \ // l0s*y
+	VSUBPD     Y4, Y3, Y3               \ // - l0o
+	VXORPD     Y1, Y3, Y3               \ // apply sign (odd symmetry)
+	VSUBPD     Y0, Y11, Y5              \ // 2a - y
+	VMULPD     Y10, Y5, Y5              \ // *4a
+	VMULPD     Y15, Y3, Y3              \ // *invN0
+	VMULPD     Y15, Y5, Y5              \
+	VCVTPD2PSY Y3, X3                   \
+	VCVTPD2PSY Y5, X5                   \
+	VMOVUPS    S0, X6                   \
+	VXORPS     X6, X3, X3               \
+	VMOVUPS    X3, D0                   \
+	VMOVUPS    S1, X6                   \
+	VXORPS     X6, X5, X5               \
+	VMOVUPS    X5, D1
+
+// Q16BODY demodulates 4 symbols at rx offsets o0/o1 into plane bytes po
+// (planes 0..3 = I.l0, Q.l0, I.l1, Q.l1). Y7 = re, Y8 = im.
+#define Q16BODY(o0, o1, po) \
+	VMOVUPD    o0(SI), Y0                                                     \
+	VMOVUPD    o1(SI), Y1                                                     \
+	VPERM2F128 $0x20, Y1, Y0, Y2                                              \
+	VPERM2F128 $0x31, Y1, Y0, Y3                                              \
+	VUNPCKLPD  Y3, Y2, Y7                                                     \
+	VUNPCKHPD  Y3, Y2, Y8                                                     \
+	Q16AXIS(Y7, po(DI), po(R8), po(DI)(R9*2), po(R8)(R9*2))                   \
+	Q16AXIS(Y8, po(DI)(R9*1), po(R8)(R9*1), po(DI)(R11*1), po(R8)(R11*1))
+
+// func feTile16AVX2(rx *complex128, strip *float32, sgn *uint32, n int, invN0 float64, stride int, consts *feQAM16Consts)
+//
+// SI = rx, DI = strip, R8 = sgn, CX = remaining symbols, BX = consts,
+// R9 = stride bytes, R11 = 3*stride bytes.
+TEXT ·feTile16AVX2(SB), NOSPLIT, $0-56
+	MOVQ         rx+0(FP), SI
+	MOVQ         strip+8(FP), DI
+	MOVQ         sgn+16(FP), R8
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD invN0+32(FP), Y15
+	MOVQ         stride+40(FP), R9
+	SHLQ         $2, R9
+	MOVQ         consts+48(FP), BX
+	LEAQ         (R9)(R9*2), R11
+	VMOVUPD      0(BX), Y14   // cmp2a
+	VMOVUPD      224(BX), Y13 // signMask
+	VMOVUPD      256(BX), Y12 // absMask
+	VMOVUPD      160(BX), Y11 // twoA
+	VMOVUPD      192(BX), Y10 // fourA
+
+q16Loop:
+	Q16BODY(0, 32, 0)
+	Q16BODY(64, 96, 16)
+	ADDQ $128, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	SUBQ $8, CX
+	JG   q16Loop
+	VZEROUPPER
+	RET
+
+// Q64AXIS evaluates the three 64-QAM bit metrics for one axis (4 lanes in
+// SRC) and stores them descrambled: D0/S0, D1/S1, D2/S2 = l0/l1/l2 plane
+// strip/sign operands. The segment index (0..3, the negated sum of the
+// three compare masks) is turned into the dword index pair {2s, 2s+1} per
+// lane, so each coefficient row select is a single VPERMD on its packed
+// table — far cheaper than the three-deep VBLENDVPD chain it replaces.
+// Constants: Y9 = invN0, Y10-Y15 = l0s/l0o/l1c/l1s/l2s/l2c packed row
+// tables; cmp2a/4a/6a, masks, fourA and idxAdd come straight from memory
+// (BX = &feC64, offsets per feQAM64Consts). Temps Y0-Y6.
+#define Q64AXIS(SRC, D0, S0, D1, S1, D2, S2) \
+	VANDPD     352(BX), SRC, Y0         \ // y = |x|
+	VANDPD     320(BX), SRC, Y1         \ // sign bit of x
+	VPCMPGTQ   0(BX), Y0, Y2            \ // y > 2a (int64 on bit patterns)
+	VPCMPGTQ   32(BX), Y0, Y3           \ // y > 4a
+	VPCMPGTQ   64(BX), Y0, Y4           \ // y > 6a
+	VPADDQ     Y3, Y2, Y2               \
+	VPADDQ     Y4, Y2, Y2               \ // -(segment)
+	VPXOR      Y4, Y4, Y4               \
+	VPSUBQ     Y2, Y4, Y2               \ // segment 0..3 per qword lane
+	VPSLLQ     $1, Y2, Y2               \ // 2s
+	VPSHUFD    $0xA0, Y2, Y2            \ // dup 2s into both dwords
+	VPADDD     384(BX), Y2, Y2          \ // dword indices {2s, 2s+1}
+	VPERMD     Y10, Y2, Y5              \ // l0s row
+	VPERMD     Y11, Y2, Y6              \ // l0o row
+	VMULPD     Y0, Y5, Y5               \ // l0s*y
+	VSUBPD     Y6, Y5, Y5               \ // - l0o
+	VXORPD     Y1, Y5, Y5               \ // apply sign (odd symmetry)
+	VMULPD     Y9, Y5, Y5               \ // *invN0
+	VCVTPD2PSY Y5, X5                   \
+	VMOVUPS    S0, X6                   \
+	VXORPS     X6, X5, X5               \
+	VMOVUPS    X5, D0                   \
+	VPERMD     Y12, Y2, Y5              \ // l1c row
+	VPERMD     Y13, Y2, Y6              \ // l1s row
+	VMULPD     Y0, Y6, Y6               \ // l1s*y
+	VSUBPD     Y6, Y5, Y5               \ // l1c - l1s*y
+	VMULPD     Y9, Y5, Y5               \
+	VCVTPD2PSY Y5, X5                   \
+	VMOVUPS    S1, X6                   \
+	VXORPS     X6, X5, X5               \
+	VMOVUPS    X5, D1                   \
+	VPERMD     Y14, Y2, Y5              \ // l2s row
+	VPERMD     Y15, Y2, Y6              \ // l2c row
+	VMULPD     288(BX), Y0, Y0          \ // t = 4a*y (y dead)
+	VMULPD     Y0, Y5, Y5               \ // l2s*t
+	VADDPD     Y6, Y5, Y5               \ // + l2c
+	VMULPD     Y9, Y5, Y5               \
+	VCVTPD2PSY Y5, X5                   \
+	VMOVUPS    S2, X6                   \
+	VXORPS     X6, X5, X5               \
+	VMOVUPS    X5, D2
+
+// Q64BODY demodulates 4 symbols at rx offsets o0/o1 into plane bytes po
+// (planes 0..5 = I.l0, Q.l0, I.l1, Q.l1, I.l2, Q.l2). Y7 = re, Y8 = im.
+#define Q64BODY(o0, o1, po) \
+	VMOVUPD    o0(SI), Y0                                                                                 \
+	VMOVUPD    o1(SI), Y1                                                                                 \
+	VPERM2F128 $0x20, Y1, Y0, Y2                                                                          \
+	VPERM2F128 $0x31, Y1, Y0, Y3                                                                          \
+	VUNPCKLPD  Y3, Y2, Y7                                                                                 \
+	VUNPCKHPD  Y3, Y2, Y8                                                                                 \
+	Q64AXIS(Y7, po(DI), po(R8), po(DI)(R9*2), po(R8)(R9*2), po(DI)(R9*4), po(R8)(R9*4))                   \
+	Q64AXIS(Y8, po(DI)(R9*1), po(R8)(R9*1), po(DI)(R11*1), po(R8)(R11*1), po(DI)(R12*1), po(R8)(R12*1))
+
+// func feTile64AVX2(rx *complex128, strip *float32, sgn *uint32, n int, invN0 float64, stride int, consts *feQAM64Consts)
+//
+// SI = rx, DI = strip, R8 = sgn, CX = remaining symbols, BX = consts,
+// R9 = stride bytes, R11 = 3*stride, R12 = 5*stride.
+TEXT ·feTile64AVX2(SB), NOSPLIT, $0-56
+	MOVQ         rx+0(FP), SI
+	MOVQ         strip+8(FP), DI
+	MOVQ         sgn+16(FP), R8
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD invN0+32(FP), Y9
+	MOVQ         stride+40(FP), R9
+	SHLQ         $2, R9
+	MOVQ         consts+48(FP), BX
+	LEAQ         (R9)(R9*2), R11
+	LEAQ         (R9)(R9*4), R12
+	VMOVUPD      96(BX), Y10  // l0s rows, packed by segment
+	VMOVUPD      128(BX), Y11 // l0o
+	VMOVUPD      160(BX), Y12 // l1c
+	VMOVUPD      192(BX), Y13 // l1s
+	VMOVUPD      224(BX), Y14 // l2s
+	VMOVUPD      256(BX), Y15 // l2c
+
+q64Loop:
+	Q64BODY(0, 32, 0)
+	Q64BODY(64, 96, 16)
+	ADDQ $128, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	SUBQ $8, CX
+	JG   q64Loop
+	VZEROUPPER
+	RET
+
+// Per-modulation VPSRLVQ shift vectors for the sign expansion: lane k
+// shifts by k*qm, so one broadcast keystream window yields 4 consecutive
+// entries of a plane. Indexed by (qm-2)*16 bytes.
+DATA feExpShift<>+0(SB)/8, $0
+DATA feExpShift<>+8(SB)/8, $2
+DATA feExpShift<>+16(SB)/8, $4
+DATA feExpShift<>+24(SB)/8, $6
+DATA feExpShift<>+32(SB)/8, $0
+DATA feExpShift<>+40(SB)/8, $4
+DATA feExpShift<>+48(SB)/8, $8
+DATA feExpShift<>+56(SB)/8, $12
+DATA feExpShift<>+64(SB)/8, $0
+DATA feExpShift<>+72(SB)/8, $6
+DATA feExpShift<>+80(SB)/8, $12
+DATA feExpShift<>+88(SB)/8, $18
+GLOBL feExpShift<>(SB), RODATA, $96
+
+DATA feExpOnes<>+0(SB)/8, $1
+DATA feExpOnes<>+8(SB)/8, $1
+DATA feExpOnes<>+16(SB)/8, $1
+DATA feExpOnes<>+24(SB)/8, $1
+GLOBL feExpOnes<>(SB), RODATA, $32
+
+// Dword permute indices packing the low dword of each qword lane into the
+// result's low 128 bits.
+DATA feExpPack<>+0(SB)/4, $0
+DATA feExpPack<>+4(SB)/4, $2
+DATA feExpPack<>+8(SB)/4, $4
+DATA feExpPack<>+12(SB)/4, $6
+DATA feExpPack<>+16(SB)/4, $0
+DATA feExpPack<>+20(SB)/4, $2
+DATA feExpPack<>+24(SB)/4, $4
+DATA feExpPack<>+28(SB)/4, $6
+GLOBL feExpPack<>(SB), RODATA, $32
+
+// func feExpandSignsAVX2(sgn *uint32, key *uint32, g0, n, stride, qm int)
+//
+// For each plane b in [0, qm) and entry t in [0, n) (n%4 == 0), writes
+// sgn[b*stride+t] = keystream bit g0+t*qm+b shifted to bit 31. Per step of
+// 4 entries: one 64-bit window load from the key words (same wi/wi+1 pair
+// the scalar expansion reads — the scrambler's guard word covers wi+1),
+// broadcast, per-lane shift by {0,qm,2qm,3qm}, mask to bit 0, shift to the
+// sign position, and pack the qword lanes' low dwords into one 16-byte
+// store. The window always holds at least 33 bits past the cursor and the
+// lanes reach at most bit 3*qm = 18, so a word-aligned load suffices.
+//
+// SI = key, DI = plane row base, R14 = plane base bit, R10 = n,
+// R9 = stride bytes, R13 = qm; per plane: DX = bit cursor, R11 = row
+// cursor, AX = entries remaining; R15 = planes remaining.
+// Y14 = shift vector, Y13 = qword ones, Y12 = pack indices.
+TEXT ·feExpandSignsAVX2(SB), NOSPLIT, $0-48
+	MOVQ sgn+0(FP), DI
+	MOVQ key+8(FP), SI
+	MOVQ g0+16(FP), R14
+	MOVQ n+24(FP), R10
+	MOVQ stride+32(FP), R9
+	SHLQ $2, R9
+	MOVQ qm+40(FP), R13
+
+	// Select the shift vector for this qm: offset (qm-2)*16.
+	MOVQ    R13, DX
+	SUBQ    $2, DX
+	SHLQ    $4, DX
+	LEAQ    feExpShift<>(SB), AX
+	VMOVUPD (AX)(DX*1), Y14
+	VMOVUPD feExpOnes<>(SB), Y13
+	VMOVUPD feExpPack<>(SB), Y12
+	MOVQ    R13, R15
+
+expPlane:
+	MOVQ R14, DX
+	MOVQ DI, R11
+	MOVQ R10, AX
+
+expChunk:
+	MOVQ         DX, R12
+	SHRQ         $5, R12
+	MOVQ         (SI)(R12*4), R8 // 64-bit window: key words wi, wi+1
+	MOVQ         DX, CX
+	ANDQ         $31, CX
+	SHRQ         CX, R8          // bits from the cursor down
+	VMOVQ        R8, X0 // VEX form: a legacy SSE MOVQ here would stall on the dirty YMM state
+	VPBROADCASTQ X0, Y0
+	VPSRLVQ      Y14, Y0, Y0     // lane k >>= k*qm
+	VPAND        Y13, Y0, Y0     // keep bit 0
+	VPSLLQ       $31, Y0, Y0     // to the float32 sign position
+	VPERMD       Y0, Y12, Y0     // pack the low dwords
+	VMOVUPS      X0, (R11)
+	ADDQ         $16, R11
+	LEAQ         (DX)(R13*4), DX // bit cursor += 4*qm
+	SUBQ         $4, AX
+	JG           expChunk
+
+	ADDQ R9, DI // next plane row
+	INCQ R14    // plane base bit + 1
+	DECQ R15
+	JG   expPlane
+	VZEROUPPER
+	RET

@@ -1,0 +1,39 @@
+//go:build !amd64 || purego
+
+package phy
+
+// feAsm is false without the amd64 AVX2 path; feTileDemod's vector branch
+// is removed by the compiler, leaving the pure-Go tile kernels — the same
+// fallback the assembly build takes on pre-AVX2 hardware.
+const feAsm = false
+
+// FrontEndAVX2 reports whether the fused front-end runs its AVX2 tile
+// demodulation on this build and CPU (false means the bit-identical
+// pure-Go tile kernels).
+func FrontEndAVX2() bool { return feAsm }
+
+// feC16 and feC64 exist only to keep the stub signatures identical to the
+// assembly build; they are never read (feAsm is a false constant).
+var (
+	feC16 feQAM16Consts
+	feC64 feQAM64Consts
+)
+
+// The tile-kernel stubs are unreachable in this build (feAsm is a false
+// constant); they keep the dispatch in feTileDemod compiling.
+
+func feTileQPSKAVX2(rx *complex128, strip *float32, sgn *uint32, n int, c float64, stride int) {
+	panic("phy: AVX2 front-end path unavailable in this build")
+}
+
+func feTile16AVX2(rx *complex128, strip *float32, sgn *uint32, n int, invN0 float64, stride int, consts *feQAM16Consts) {
+	panic("phy: AVX2 front-end path unavailable in this build")
+}
+
+func feTile64AVX2(rx *complex128, strip *float32, sgn *uint32, n int, invN0 float64, stride int, consts *feQAM64Consts) {
+	panic("phy: AVX2 front-end path unavailable in this build")
+}
+
+func feExpandSignsAVX2(sgn *uint32, key *uint32, g0, n, stride, qm int) {
+	panic("phy: AVX2 front-end path unavailable in this build")
+}

@@ -12,7 +12,10 @@ import (
 // symbols through AWGN, then decodes the identical received vector with a
 // staged-oracle processor and a fused processor (each with its own soft
 // buffer, carried across the rv sequence for HARQ combining), comparing
-// payloads, errors, and full soft-buffer contents bit for bit.
+// payloads, errors, and full soft-buffer contents bit for bit. On AVX2
+// hosts a third, scalar-tile fused processor (NoVectorFrontEnd) decodes the
+// same vector, pinning the vector and pure-Go tile kernels to each other at
+// every code-block boundary residue the configuration produces.
 func decodeBothFrontEnds(t *testing.T, mcs MCS, nprb, workers int, kernel DecodeKernel, rvs []int, snrDB float64, seed int64) {
 	t.Helper()
 	staged, err := NewTransportProcessorOpts(mcs, nprb, ProcOptions{Workers: workers, Kernel: kernel, FrontEnd: FrontEndStaged})
@@ -25,6 +28,16 @@ func decodeBothFrontEnds(t *testing.T, mcs MCS, nprb, workers int, kernel Decode
 		t.Fatal(err)
 	}
 	defer fused.Close()
+	var scalar *TransportProcessor
+	var sbSc *SoftBuffer
+	if FrontEndAVX2() {
+		scalar, err = NewTransportProcessorOpts(mcs, nprb, ProcOptions{Workers: workers, Kernel: kernel, FrontEnd: FrontEndFused, NoVectorFrontEnd: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer scalar.Close()
+		sbSc = scalar.NewSoftBuffer()
+	}
 
 	rng := rand.New(rand.NewSource(seed))
 	payload := randBits(rng, staged.TransportBlockSize())
@@ -55,6 +68,22 @@ func decodeBothFrontEnds(t *testing.T, mcs MCS, nprb, workers int, kernel Decode
 			if math.Float32bits(sbS.back[j]) != math.Float32bits(sbF.back[j]) {
 				t.Fatalf("mcs %d nprb %d rv %d: soft buffer differs at %d: %v vs %v",
 					mcs, nprb, rv, j, sbS.back[j], sbF.back[j])
+			}
+		}
+		if scalar == nil {
+			continue
+		}
+		outSc, errSc := scalar.Decode(rx, ch.N0(), 17, 101, 4, rv, sbSc)
+		if (errF == nil) != (errSc == nil) {
+			t.Fatalf("mcs %d nprb %d rv %d: vector err %v, scalar-tile err %v", mcs, nprb, rv, errF, errSc)
+		}
+		if errF == nil && !bytes.Equal(outF, outSc) {
+			t.Fatalf("mcs %d nprb %d rv %d: vector and scalar-tile payloads differ", mcs, nprb, rv)
+		}
+		for j := range sbF.back {
+			if math.Float32bits(sbF.back[j]) != math.Float32bits(sbSc.back[j]) {
+				t.Fatalf("mcs %d nprb %d rv %d: vector vs scalar-tile soft buffer differs at %d: %v vs %v",
+					mcs, nprb, rv, j, sbF.back[j], sbSc.back[j])
 			}
 		}
 	}
@@ -138,12 +167,21 @@ func TestFusedDecodeValidation(t *testing.T) {
 }
 
 // FuzzFusedFrontEnd drives random (MCS, PRB, rv, noise seed) configurations
-// through both front-ends and requires identical payloads, error outcomes,
-// and soft-buffer contents.
+// through both front-ends (and, on AVX2 hosts, the scalar-tile fused path)
+// and requires identical payloads, error outcomes, and soft-buffer
+// contents. The small-PRB seeds put code-block boundaries mid-symbol: with
+// few PRBs per block the offsets sweep every bit-in-symbol residue across
+// the three modulations, driving the tile pipeline's head/tail peel paths.
 func FuzzFusedFrontEnd(f *testing.F) {
 	f.Add(uint8(4), uint8(10), uint8(0), int64(1))
 	f.Add(uint8(17), uint8(3), uint8(2), int64(2))
 	f.Add(uint8(27), uint8(50), uint8(3), int64(3))
+	f.Add(uint8(2), uint8(1), uint8(0), int64(4))  // QPSK, single PRB
+	f.Add(uint8(13), uint8(3), uint8(1), int64(5)) // 16QAM, mid-symbol boundaries
+	f.Add(uint8(16), uint8(5), uint8(0), int64(6)) // 16QAM, odd offsets
+	f.Add(uint8(22), uint8(3), uint8(2), int64(7)) // 64QAM, mid-symbol boundaries
+	f.Add(uint8(25), uint8(7), uint8(0), int64(8)) // 64QAM, odd offsets
+	f.Add(uint8(28), uint8(11), uint8(3), int64(9))
 	f.Fuzz(func(t *testing.T, mcsRaw, nprbRaw, rvRaw uint8, seed int64) {
 		mcs := MCS(mcsRaw % 29)
 		nprb := 1 + int(nprbRaw)%25

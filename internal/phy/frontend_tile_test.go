@@ -1,0 +1,155 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// feTileInputs builds a symbol vector that mixes random Gaussian samples
+// with the piecewise-linear boundary values (±0, ±2a, ±4a, ±6a and their
+// off-by-one-ULP neighbours) plus infinities and NaNs, on both axes — the
+// inputs where a vector segment select could diverge from the scalar
+// borrow-bit trick.
+func feTileInputs(rng *rand.Rand, n int, a float64) []complex128 {
+	edge := []float64{
+		0, math.Copysign(0, -1),
+		2 * a, -2 * a, 4 * a, -4 * a, 6 * a, -6 * a,
+		math.Nextafter(2*a, 0), math.Nextafter(2*a, 1),
+		math.Nextafter(4*a, 0), math.Nextafter(4*a, 1),
+		math.Nextafter(6*a, 0), math.Nextafter(6*a, 1),
+		math.Inf(1), math.Inf(-1), math.NaN(), -math.NaN(),
+	}
+	rx := make([]complex128, n)
+	for i := range rx {
+		re, im := rng.NormFloat64(), rng.NormFloat64()
+		if rng.Intn(3) == 0 {
+			re = edge[rng.Intn(len(edge))]
+		}
+		if rng.Intn(3) == 0 {
+			im = edge[rng.Intn(len(edge))]
+		}
+		rx[i] = complex(re, im)
+	}
+	return rx
+}
+
+// TestFETileDemodVectorMatchesScalar pins the AVX2 tile kernels against the
+// pure-Go tile kernels bit for bit, across modulations, adversarial symbol
+// values, and every ragged tail length (n spanning sub-8 remainders, exact
+// multiples of 8, and full tiles).
+func TestFETileDemodVectorMatchesScalar(t *testing.T) {
+	if !FrontEndAVX2() {
+		t.Skip("no AVX2 front-end on this host/build")
+	}
+	rng := rand.New(rand.NewSource(41))
+	mods := []struct {
+		mod Modulation
+		a   float64
+	}{{QPSK, qpskA}, {QAM16, qam16A}, {QAM64, qam64A}}
+	lens := []int{1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 100, feTileSyms - 1, feTileSyms}
+	for _, m := range mods {
+		qm := m.mod.BitsPerSymbol()
+		for _, n := range lens {
+			rx := feTileInputs(rng, n, m.a)
+			sgn := make([]uint32, 6*feTileSyms)
+			for i := range sgn {
+				sgn[i] = uint32(rng.Intn(2)) << 31
+			}
+			invN0 := 1 / (0.01 + rng.Float64())
+			vec := make([]float32, 6*feTileSyms)
+			sca := make([]float32, 6*feTileSyms)
+			feTileDemod(m.mod, vec, sgn, rx, n, feTileSyms, invN0, true)
+			feTileDemod(m.mod, sca, sgn, rx, n, feTileSyms, invN0, false)
+			for b := 0; b < qm; b++ {
+				for i := 0; i < n; i++ {
+					v, s := vec[b*feTileSyms+i], sca[b*feTileSyms+i]
+					if math.Float32bits(v) != math.Float32bits(s) {
+						t.Fatalf("%v n=%d plane %d sym %d (rx %v): vector %x scalar %x",
+							m.mod, n, b, i, rx[i], math.Float32bits(v), math.Float32bits(s))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFEExpandSignsVectorMatchesScalar pins the AVX2 keystream sign
+// expansion against the scalar window walk for every modulation, tile
+// offset parity, and tail length.
+func TestFEExpandSignsVectorMatchesScalar(t *testing.T) {
+	if !FrontEndAVX2() {
+		t.Skip("no AVX2 front-end on this host/build")
+	}
+	scr := NewScrambler(0x2f3a1)
+	key := scr.KeyWords(8 * feTileSyms * 6)
+	for _, qm := range []int{2, 4, 6} {
+		for _, n := range []int{1, 3, 4, 5, 31, 32, 100, feTileSyms} {
+			for _, s0 := range []int{0, 1, 7, feTileSyms, 3*feTileSyms + 5} {
+				vec := make([]uint32, 6*feTileSyms)
+				sca := make([]uint32, 6*feTileSyms)
+				feExpandSigns(vec, key, s0, n, qm, feTileSyms, true)
+				feExpandSigns(sca, key, s0, n, qm, feTileSyms, false)
+				for b := 0; b < qm; b++ {
+					for i := 0; i < n; i++ {
+						if vec[b*feTileSyms+i] != sca[b*feTileSyms+i] {
+							t.Fatalf("qm=%d s0=%d n=%d plane %d entry %d: vector %x scalar %x",
+								qm, s0, n, b, i, vec[b*feTileSyms+i], sca[b*feTileSyms+i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFEScatterResidues drives feScatter at every bit-in-symbol residue on
+// both edges — code blocks may start and end mid-symbol at any offset — and
+// across circular-buffer wraps, comparing against a per-bit reference walk.
+func TestFEScatterResidues(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	rm, err := NewRateMatcher(424)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := len(rm.scat)
+	strip := make([]float32, 6*feTileSyms)
+	for i := range strip {
+		strip[i] = rng.Float32() - 0.5
+	}
+	for _, qm := range []int{2, 4, 6} {
+		for rlo := 0; rlo < qm; rlo++ {
+			for rhi := 0; rhi < qm; rhi++ {
+				for _, span := range []int{1, qm, 3*qm + 1, nd, nd + qm, 2*nd + 3} {
+					lo := 5*qm + rlo
+					hi := lo + span + rhi
+					if hi > feTileSyms*qm {
+						continue
+					}
+					for _, j0 := range []int{0, nd - 2} {
+						got := make([]float32, 3*rm.d)
+						want := make([]float32, 3*rm.d)
+						gj := feScatter(got, rm.scat, strip, feTileSyms, qm, lo, hi, j0)
+						wj := j0
+						for g := lo; g < hi; g++ {
+							want[rm.scat[wj]] += strip[(g%qm)*feTileSyms+g/qm]
+							wj++
+							if wj == nd {
+								wj = 0
+							}
+						}
+						if gj != wj {
+							t.Fatalf("qm=%d lo=%d hi=%d j0=%d: cursor %d, want %d", qm, lo, hi, j0, gj, wj)
+						}
+						for i := range want {
+							if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+								t.Fatalf("qm=%d lo=%d hi=%d j0=%d: blk[%d] = %x, want %x",
+									qm, lo, hi, j0, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

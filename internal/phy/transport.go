@@ -53,6 +53,7 @@ type TransportProcessor struct {
 	feSB    *SoftBuffer
 	feRV    int
 	feInvN0 float64
+	feVec   bool // AVX2 tile demodulation (fixed at construction)
 
 	// Preallocated working storage.
 	tbBits   []byte // payload + TB CRC (B bits)
@@ -223,6 +224,12 @@ type ProcOptions struct {
 	// bit-identical). It composes with Workers: each worker claims Batch
 	// blocks at a time. 0 or 1 keeps the scalar per-block path.
 	Batch int
+	// NoVectorFrontEnd forces the fused front-end's pure-Go tile kernels
+	// even where the AVX2 path is available (FrontEndAVX2). Outputs are
+	// bit-identical either way; the knob exists for measurement (E18's
+	// scalar-fused column, cost-model calibration) and debugging. It has
+	// no effect on the staged front-end.
+	NoVectorFrontEnd bool
 }
 
 // NewTransportProcessorOpts builds a processor with explicit options; the
@@ -277,6 +284,7 @@ func NewTransportProcessorOpts(mcs MCS, nprb int, o ProcOptions) (*TransportProc
 	p := &TransportProcessor{
 		mcs: mcs, nprb: nprb, tbs: tbs, e: e, seg: seg, kernel: kernel,
 		frontEnd: o.FrontEnd,
+		feVec:    FrontEndAVX2() && !o.NoVectorFrontEnd,
 		enc:      enc, dec: dec, rm: rm, scr: NewScrambler(0),
 		tbBits:   make([]byte, b),
 		blockBuf: make([]byte, seg.K),
@@ -331,6 +339,12 @@ func (p *TransportProcessor) Kernel() DecodeKernel { return p.kernel }
 
 // FrontEnd returns the decode front-end the processor runs.
 func (p *TransportProcessor) FrontEnd() FrontEnd { return p.frontEnd }
+
+// FrontEndVector reports whether this processor's fused front-end runs the
+// AVX2 tile demodulation (false: pure-Go tile kernels — non-AVX2 host,
+// purego build, or ProcOptions.NoVectorFrontEnd). Outputs are bit-identical
+// either way.
+func (p *TransportProcessor) FrontEndVector() bool { return p.feVec }
 
 // Close releases the resident decode goroutines of a parallel processor. It
 // is a no-op for serial processors and must not race an in-flight Decode.
@@ -463,7 +477,14 @@ func (p *TransportProcessor) Decode(rx []complex128, n0 float64, rnti uint16, ce
 	// Staged (oracle) path: three full sweeps over the E coded bits.
 	p.Timings.FrontEnd = 0
 
-	// Demodulate to LLRs.
+	// Demodulate to LLRs. Pre-size the append destination from len(rx)*Qm
+	// (normally a no-op — construction capped llr at E) so the staged
+	// oracle never grows mid-measurement: the E2/E13/E18 staged columns
+	// time this path, and an append-driven grow would charge allocator
+	// noise to the demodulate stage.
+	if need := len(rx) * p.mcs.Modulation().BitsPerSymbol(); cap(p.llr) < need {
+		p.llr = make([]float32, 0, need)
+	}
 	start := time.Now()
 	p.llr = p.llr[:0]
 	var err error
