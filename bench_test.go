@@ -152,3 +152,13 @@ func BenchmarkE17_BatchSpeedup(b *testing.B) {
 func BenchmarkE18_VectorFrontEnd(b *testing.B) {
 	report(b, experiments.E18VectorFrontEnd)
 }
+
+// BenchmarkE19_OverloadCurve regenerates the graceful-degradation overload
+// curve: offered load swept from 0.5× to 3× one worker's capacity, goodput
+// and deadline-miss rate with the compute-aware degradation ladder on vs
+// off. With the ladder the headroom controller climbs to the int16 kernel
+// and capped turbo iterations under overload, so goodput at 2× offered load
+// should be well above the undegraded baseline's.
+func BenchmarkE19_OverloadCurve(b *testing.B) {
+	report(b, experiments.E19OverloadCurve)
+}

@@ -1,5 +1,5 @@
 // Command pran-bench regenerates the PRAN evaluation: every reconstructed
-// table and figure (E1–E18, indexed in DESIGN.md §4) as printable tables.
+// table and figure (E1–E19, indexed in DESIGN.md §4) as printable tables.
 //
 // Usage:
 //
@@ -35,7 +35,7 @@ func main() {
 
 func run() int {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
-	runID := flag.String("run", "", "run a single experiment by ID (E1..E18)")
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E19)")
 	batchW := flag.Int("batch", 8, "maximum lockstep batch width E17 sweeps (1 = scalar baseline only)")
 	dumpTelemetry := flag.Bool("telemetry", false, "print the process-default telemetry snapshot after the run")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -66,6 +66,7 @@ func run() int {
 		{"E16", experiments.E16Scale},
 		{"E17", func(q bool) (experiments.Result, error) { return experiments.E17BatchSpeedup(q, *batchW) }},
 		{"E18", experiments.E18VectorFrontEnd},
+		{"E19", experiments.E19OverloadCurve},
 	}
 
 	if *list {

@@ -105,6 +105,13 @@ type CostModel struct {
 	// lockstep amortization is per-lane, so halving the width forfeits half
 	// of the width-8 saving. Use WithBatch to derive a batched model.
 	Batch int
+	// IterCap, when > 0, caps the expected turbo iterations the cost
+	// queries charge — mirroring the degradation ladder's per-cell
+	// iteration cap (DegradationLevel.IterCap), so a degraded cell's
+	// modelled demand shrinks to what its capped decode actually costs.
+	// 0 (the default) leaves ExpectedTurboIterations unclamped. Use
+	// WithIterCap (or DegradationLevel.Apply) to derive a capped model.
+	IterCap int
 }
 
 // WithKernel returns a copy of the model whose cost queries charge turbo
@@ -133,6 +140,23 @@ func (m CostModel) WithFrontEndVector(v bool) CostModel {
 func (m CostModel) WithBatch(w int) CostModel {
 	m.Batch = w
 	return m
+}
+
+// WithIterCap returns a copy of the model whose cost queries cap the
+// expected turbo iterations at c (0 removes the cap).
+func (m CostModel) WithIterCap(c int) CostModel {
+	m.IterCap = c
+	return m
+}
+
+// expectedIters is ExpectedTurboIterations clamped by the model's iteration
+// cap — the per-allocation iteration count every cost query charges.
+func (m CostModel) expectedIters(mcs phy.MCS, snrDB float64) float64 {
+	it := ExpectedTurboIterations(mcs, snrDB)
+	if m.IterCap > 0 && it > float64(m.IterCap) {
+		it = float64(m.IterCap)
+	}
+	return it
 }
 
 // turboCoeff returns the per-bit-per-iteration turbo cost for the selected
@@ -203,6 +227,9 @@ func (m CostModel) Validate() error {
 	}
 	if m.Batch > 1 && m.Kernel != phy.KernelInt16 {
 		return fmt.Errorf("cluster: batch width %d requires the int16 kernel: %w", m.Batch, phy.ErrBadParameter)
+	}
+	if m.IterCap < 0 {
+		return fmt.Errorf("cluster: negative turbo iteration cap %d: %w", m.IterCap, phy.ErrBadParameter)
 	}
 	return nil
 }
@@ -291,7 +318,7 @@ func (m CostModel) AllocCost(a frame.Allocation) time.Duration {
 		return 0
 	}
 	infoBits := float64(tbs + 24)
-	iters := ExpectedTurboIterations(a.MCS, a.SNRdB)
+	iters := m.expectedIters(a.MCS, a.SNRdB)
 	sec := m.frontEndSec(res, codedBits, a.MCS.Modulation()) +
 		infoBits*iters*m.turboCoeff() +
 		infoBits*m.CRCPerBit
@@ -327,7 +354,7 @@ func (m CostModel) AllocCostWorkers(a frame.Allocation, workers int) time.Durati
 	qm := float64(a.MCS.Modulation().BitsPerSymbol())
 	codedBits := res * qm
 	infoBits := float64(tbs + 24)
-	iters := ExpectedTurboIterations(a.MCS, a.SNRdB)
+	iters := m.expectedIters(a.MCS, a.SNRdB)
 	frontEnd := m.frontEndSec(res, codedBits, a.MCS.Modulation())
 	serial := infoBits * m.CRCPerBit
 	perBlockWork := infoBits * iters * m.turboCoeff()

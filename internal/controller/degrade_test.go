@@ -1,0 +1,173 @@
+package controller
+
+import (
+	"testing"
+
+	"pran/internal/cluster"
+	"pran/internal/frame"
+)
+
+func TestDegradePolicyValidate(t *testing.T) {
+	if err := DefaultDegradePolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DegradePolicy{
+		{MaxLevel: cluster.MaxDegradationLevel + 1, Factors: [4]float64{1, 0.8, 0.5, 0.3}},
+		{MaxLevel: cluster.MaxDegradationLevel, Factors: [4]float64{0.9, 0.8, 0.5, 0.3}},
+		{MaxLevel: cluster.MaxDegradationLevel, Factors: [4]float64{1, 0.8, 0.9, 0.3}},
+		{MaxLevel: cluster.MaxDegradationLevel, Factors: [4]float64{1, 0.8, 0.5, 0}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("bad policy %d accepted", i)
+		}
+	}
+}
+
+// newDegradeController is a single-server controller with the degradation
+// policy installed — the tightest corner for the degrade-instead-of-shed
+// path (no standbys to promote).
+func newDegradeController(t *testing.T) *Controller {
+	t.Helper()
+	cl, err := cluster.Uniform(1, 1, 8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = Reactive
+	cfg.Degrade = DefaultDegradePolicy()
+	c, err := New(cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestControllerDegradesInsteadOfShedding: demand that used to trigger
+// shedding now fits with every cell degraded — nothing dropped, levels
+// assigned, and the scaled demand respects the server's capacity.
+func TestControllerDegradesInsteadOfShedding(t *testing.T) {
+	c := newDegradeController(t)
+	for cell := 0; cell < 4; cell++ {
+		c.ObserveCell(frame.CellID(cell), 3.0) // 12 cores demanded on 8
+	}
+	rep, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dropped) != 0 {
+		t.Fatalf("dropped cells %v despite the ladder", rep.Dropped)
+	}
+	if rep.Degraded == 0 {
+		t.Fatalf("no cells degraded: %+v", rep)
+	}
+	levels := c.DegradationLevels()
+	if len(levels) != rep.Degraded {
+		t.Fatalf("report says %d degraded, levels %v", rep.Degraded, levels)
+	}
+	// Every cell placed, and the degraded demand fits the 8-core server.
+	scaled := 0.0
+	for cell := 0; cell < 4; cell++ {
+		if _, ok := c.Placement()[frame.CellID(cell)]; !ok {
+			t.Fatalf("cell %d not placed", cell)
+		}
+		scaled += 3.0 * c.cfg.Degrade.factor(levels[frame.CellID(cell)])
+	}
+	if scaled > 8 {
+		t.Fatalf("degraded demand %.2f cores still exceeds capacity", scaled)
+	}
+}
+
+// TestControllerDegradesHeaviestFirst: the greedy raises the heaviest cell
+// one rung, and stops as soon as the set fits — the light cell stays at
+// full service.
+func TestControllerDegradesHeaviestFirst(t *testing.T) {
+	c := newDegradeController(t)
+	c.ObserveCell(1, 6.0)
+	c.ObserveCell(2, 3.0) // 9 cores on 8: one rung on the heavy cell suffices
+	rep, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dropped) != 0 || rep.Degraded != 1 {
+		t.Fatalf("want exactly the heavy cell degraded: %+v", rep)
+	}
+	levels := c.DegradationLevels()
+	if levels[1] != cluster.DegradeIterCap || levels[2] != cluster.DegradeNone {
+		t.Fatalf("levels %v, want cell 1 at iter-cap only", levels)
+	}
+}
+
+// TestControllerClearsDegradationOnRecovery: once full-fidelity demand fits
+// again, placement clears the levels — and the fit test uses demand
+// un-scaled back to full fidelity, so a still-hot pool stays degraded
+// instead of flapping.
+func TestControllerClearsDegradationOnRecovery(t *testing.T) {
+	c := newDegradeController(t)
+	for cell := 0; cell < 4; cell++ {
+		c.ObserveCell(frame.CellID(cell), 3.0)
+	}
+	if _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.DegradationLevels()) == 0 {
+		t.Fatal("overload did not degrade")
+	}
+	// Still hot: the observed (degraded) demand shrank, but un-scaling it
+	// shows full fidelity does not fit — levels must persist.
+	levels := c.DegradationLevels()
+	for cell := 0; cell < 4; cell++ {
+		c.ObserveCell(frame.CellID(cell), 3.0*c.cfg.Degrade.factor(levels[frame.CellID(cell)]))
+	}
+	if _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.DegradationLevels()) == 0 {
+		t.Fatal("controller flapped back to full service while still overloaded")
+	}
+	// Genuine recovery: sustained low demand clears every level.
+	for round := 0; round < 30 && len(c.DegradationLevels()) > 0; round++ {
+		for cell := 0; cell < 4; cell++ {
+			c.ObserveCell(frame.CellID(cell), 0.5)
+		}
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lv := c.DegradationLevels(); len(lv) != 0 {
+		t.Fatalf("levels %v never cleared after recovery", lv)
+	}
+	rep, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded != 0 || rep.Unplaceable {
+		t.Fatalf("recovered pool still reports degradation: %+v", rep)
+	}
+}
+
+// TestControllerShedsOnlyPastMaxLevel: when even the deepest rung cannot
+// absorb the demand, the controller sheds — but with the degraded demands,
+// so fewer cells drop than the undegraded path would.
+func TestControllerShedsOnlyPastMaxLevel(t *testing.T) {
+	c := newDegradeController(t)
+	for cell := 0; cell < 4; cell++ {
+		c.ObserveCell(frame.CellID(cell), 9.0) // 36 cores; deepest rung: 10.8
+	}
+	rep, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dropped) == 0 {
+		t.Fatalf("impossible demand not shed: %+v", rep)
+	}
+	// Survivors run at the deepest rung; 9*0.3=2.7 cores each → 2 fit.
+	if placed := len(c.Placement()); placed < 2 {
+		t.Fatalf("only %d cells survived; degraded demand should fit 2", placed)
+	}
+	for cell := range c.Placement() {
+		if c.DegradationLevels()[cell] != c.cfg.Degrade.MaxLevel {
+			t.Fatalf("survivor %d not at max level", cell)
+		}
+	}
+}

@@ -88,6 +88,15 @@ type System struct {
 	demandTTIs int
 	harq       []*harqLoop // per-cell HARQ retransmission loops
 
+	// mcsCap is the auto-registered scheduler-feedback program (nil when
+	// the pool runs NoDegrade): every control period it receives each
+	// cell's degradation-ladder MCS cap, so a degraded cell's future
+	// subframes arrive with cheaper transport blocks.
+	mcsCap *ranapi.MCSCapProgram
+	// ctlLevels is the controller's last pushed per-cell level set, kept
+	// to reset cells the controller stops degrading.
+	ctlLevels map[frame.CellID]cluster.DegradationLevel
+
 	closed bool
 }
 
@@ -145,6 +154,14 @@ func New(cfg Config) (*System, error) {
 		ctl:        ctl,
 		registry:   ranapi.NewRegistry(),
 		cellDemand: make([]float64, len(cfg.Cells)),
+		ctlLevels:  make(map[frame.CellID]cluster.DegradationLevel),
+	}
+	if !cfg.Pool.NoDegrade {
+		s.mcsCap = ranapi.NewMCSCapProgram()
+		if err := s.registry.Register(s.mcsCap); err != nil {
+			_ = pool.Close()
+			return nil, err
+		}
 	}
 	for i, c := range cfg.Cells {
 		rrh, err := dataplane.NewRRHEmulator(c.Config, cfg.Seed+int64(i)*131)
@@ -270,9 +287,42 @@ func (s *System) RunTTIs(n int) error {
 			if _, err := s.ctl.Step(); err != nil {
 				return err
 			}
+			s.syncDegradation()
 		}
 	}
 	return nil
+}
+
+// MCSCaps exposes the auto-registered scheduler-feedback program (nil when
+// the pool runs NoDegrade).
+func (s *System) MCSCaps() *ranapi.MCSCapProgram { return s.mcsCap }
+
+// syncDegradation runs after every control step: the controller's
+// degradation-aware placement decisions flow down to the data-plane pool
+// (per-cell levels), and each cell's effective level — whether set by the
+// controller or by the pool's own headroom loop — flows back to the
+// scheduler as an MCS cap. With no DegradePolicy on the controller the
+// level map is always empty and only the cap feedback runs.
+func (s *System) syncDegradation() {
+	if s.pool.CellLevels() == nil {
+		return // NoDegrade pool
+	}
+	levels := s.ctl.DegradationLevels()
+	for cell, prev := range s.ctlLevels {
+		if _, still := levels[cell]; !still && prev != cluster.DegradeNone {
+			_ = s.pool.SetCellLevel(cell, cluster.DegradeNone)
+		}
+	}
+	for cell, lvl := range levels {
+		_ = s.pool.SetCellLevel(cell, lvl)
+	}
+	s.ctlLevels = levels
+	if s.mcsCap != nil {
+		for ci := range s.cells {
+			id := s.cfg.Cells[ci].Config.ID
+			s.mcsCap.SetCap(id, s.pool.CellLevel(id).MCSCap())
+		}
+	}
 }
 
 // Drain waits for all in-flight decode tasks to finish.

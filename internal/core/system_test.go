@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"pran/internal/cluster"
 	"pran/internal/controller"
 	"pran/internal/dataplane"
 	"pran/internal/frame"
@@ -174,6 +175,64 @@ func TestDefaultCells(t *testing.T) {
 	}
 	if len(seen) != 10 {
 		t.Fatal("PCIs collide within a small deployment")
+	}
+}
+
+func TestSystemDegradationFeedback(t *testing.T) {
+	// A cell's degradation level — however it was set — must flow back to
+	// the scheduler as an MCS cap at the next control period, and clear
+	// when the cell returns to full service.
+	s, err := New(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	caps := s.MCSCaps()
+	if caps == nil {
+		t.Fatal("MCS-cap program not registered on a ladder-capable system")
+	}
+	if caps.Cap(0) != phy.MaxMCS {
+		t.Fatal("fresh system already capped")
+	}
+	if err := s.Pool().SetCellLevel(0, cluster.DegradeShedHARQ); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunTTIs(20); err != nil { // one control period
+		t.Fatal(err)
+	}
+	s.Drain()
+	if got, want := caps.Cap(0), cluster.DegradeShedHARQ.MCSCap(); got != want {
+		t.Fatalf("cap %v after degradation, want %v", got, want)
+	}
+	if err := s.Pool().SetCellLevel(0, cluster.DegradeNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunTTIs(20); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if caps.Cap(0) != phy.MaxMCS {
+		t.Fatal("cap not cleared after returning to full service")
+	}
+}
+
+func TestSystemNoDegrade(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.Pool.NoDegrade = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.MCSCaps() != nil {
+		t.Fatal("NoDegrade system registered an MCS-cap program")
+	}
+	if err := s.RunTTIs(25); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if s.Pool().Stats().Submitted == 0 {
+		t.Fatal("no tasks reached the pool")
 	}
 }
 

@@ -91,6 +91,11 @@ func (c *CellProcessor) IngestSubframe(samples []complex128, work frame.Subframe
 	}
 	now := time.Now()
 	deadline := now.Add(c.pool.cfg.Budget())
+	// One level read covers the subframe's HARQ-shed decision; Submit
+	// re-reads when stamping each task. A transition between the two reads
+	// is a harmless one-TTI transient (a task may decode degraded with a
+	// combining buffer it no longer needed, or once without one).
+	lvl := c.pool.CellLevel(work.Cell)
 
 	// Cell-level FFT stage: time domain → resource grid.
 	fftStart := time.Now()
@@ -134,9 +139,14 @@ func (c *CellProcessor) IngestSubframe(samples []complex128, work frame.Subframe
 			Enqueued: now,
 			OnDone:   onDone,
 		}
-		if sb, st := c.harq.prepareOwned(a, work.TTI); sb != nil {
-			t.Soft = sb
-			t.softState = st
+		// At the shed-HARQ rung retransmissions decode fresh — no buffer is
+		// attached, so no LLR accumulation, no busy-flag handoff, and no
+		// soft-buffer memory traffic for this cell until the level drops.
+		if !lvl.ShedsHARQ() {
+			if sb, st := c.harq.prepareOwned(a, work.TTI); sb != nil {
+				t.Soft = sb
+				t.softState = st
+			}
 		}
 		if c.tel != nil {
 			c.tel.tasks.Inc(c.tel.shard)

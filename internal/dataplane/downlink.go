@@ -80,7 +80,7 @@ func NewDownlinkProcessor(cfg frame.CellConfig) (*DownlinkProcessor, error) {
 func (d *DownlinkProcessor) Config() frame.CellConfig { return d.cfg }
 
 func (d *DownlinkProcessor) processor(mcs phy.MCS, nprb int) (*phy.TransportProcessor, error) {
-	key := procKey{mcs, nprb}
+	key := procKey{mcs: mcs, nprb: nprb}
 	if p, ok := d.procs[key]; ok {
 		return p, nil
 	}
@@ -162,7 +162,9 @@ func EncodeOnPool(pool *Pool, cell frame.CellConfig, work frame.SubframeWork, pa
 			Deadline: txDeadline,
 			runInstead: func(w *worker, t *Task) {
 				start := time.Now()
-				proc, err := w.processor(dl.Alloc.MCS, dl.Alloc.NumPRB, 0)
+				// Encode doesn't decode, so the degradation ladder's kernel
+				// override is irrelevant — use the pool's configured kernel.
+				proc, err := w.processor(dl.Alloc.MCS, dl.Alloc.NumPRB, 0, w.pool.cfg.DecodeKernel)
 				if err != nil {
 					dl.Err = err
 					return

@@ -51,7 +51,7 @@ func NewHARQManager() *HARQManager {
 
 // prototype returns a processor used only to size soft buffers.
 func (h *HARQManager) prototype(mcs phy.MCS, nprb int) (*phy.TransportProcessor, error) {
-	key := procKey{mcs, nprb}
+	key := procKey{mcs: mcs, nprb: nprb}
 	if p, ok := h.protos[key]; ok {
 		return p, nil
 	}

@@ -93,6 +93,15 @@ type Config struct {
 	// NaiveAlloc disables worker-local processor caching so every task
 	// allocates fresh DSP state — the GC-pressure ablation knob.
 	NaiveAlloc bool
+	// Degrade parameterizes the compute-aware degradation ladder (see
+	// DegradeConfig and cluster.DegradationLevel). The ladder's per-cell
+	// level words exist on every pool unless NoDegrade is set; the
+	// automatic headroom controller runs only when Degrade.Enable is true.
+	Degrade DegradeConfig
+	// NoDegrade hard-disables the degradation ladder: no level registry,
+	// no task stamping, no controller — the exact pre-ladder pipeline (the
+	// bit-identity baseline the regression tests compare against).
+	NoDegrade bool
 	// Telemetry selects the registry this pool records runtime metrics
 	// into; nil means the process-wide telemetry.Default(). Telemetry is
 	// default-on — the record path is lock-free and allocation-free, and
@@ -138,6 +147,14 @@ func (c Config) Validate() error {
 	}
 	if c.DeadlineScale <= 0 {
 		return fmt.Errorf("dataplane: deadline scale %v: %w", c.DeadlineScale, phy.ErrBadParameter)
+	}
+	if c.NoDegrade && c.Degrade.Enable {
+		return fmt.Errorf("dataplane: NoDegrade conflicts with Degrade.Enable: %w", phy.ErrBadParameter)
+	}
+	if !c.NoDegrade {
+		if err := c.Degrade.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -199,6 +216,7 @@ func (s Stats) MissRate() float64 {
 type Pool struct {
 	cfg Config
 	tel *poolTelemetry // nil when Config.DisableTelemetry
+	deg *degradeState  // nil when Config.NoDegrade
 
 	mu   sync.Mutex
 	cond *sync.Cond // wakes workers: signaled per Submit, broadcast on Close
@@ -231,6 +249,12 @@ func NewPool(cfg Config) (*Pool, error) {
 	p.cond = sync.NewCond(&p.mu)
 	p.idle = sync.NewCond(&p.mu)
 	p.queue.fifo = cfg.Policy == FIFO
+	if !cfg.NoDegrade {
+		p.deg = newDegradeState(p)
+		if cfg.Degrade.Enable {
+			go p.deg.run()
+		}
+	}
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		w := newWorker(p, i)
@@ -255,6 +279,12 @@ func (p *Pool) Telemetry() *telemetry.Registry {
 // Config.Budget from its Enqueued time); OnDone fires on a worker goroutine
 // when the task completes or is abandoned.
 func (p *Pool) Submit(t *Task) error {
+	if p.deg != nil {
+		// Freeze the cell's current ladder level into the task: the
+		// degrade knobs a decode runs with are decided at submission, so a
+		// mid-queue transition never splits one task's decisions.
+		t.Degrade = p.deg.level(t.Cell)
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -310,6 +340,10 @@ func (p *Pool) Close() error {
 	p.mu.Unlock()
 	p.cond.Broadcast()
 	p.wg.Wait()
+	if p.deg != nil && p.cfg.Degrade.Enable {
+		close(p.deg.stop)
+		<-p.deg.done
+	}
 	return nil
 }
 
@@ -380,6 +414,9 @@ func (p *Pool) finish(t *Task, shard int) {
 		p.idle.Broadcast()
 	}
 	p.mu.Unlock()
+	if p.deg != nil {
+		p.deg.observe(t)
+	}
 	if tel := p.tel; tel != nil {
 		switch {
 		case errors.Is(t.Err, ErrAbandoned):

@@ -64,7 +64,7 @@ func NewRRHEmulator(cfg frame.CellConfig, seed int64) (*RRHEmulator, error) {
 func (r *RRHEmulator) Config() frame.CellConfig { return r.cfg }
 
 func (r *RRHEmulator) processor(mcs phy.MCS, nprb int) (*phy.TransportProcessor, error) {
-	key := procKey{mcs, nprb}
+	key := procKey{mcs: mcs, nprb: nprb}
 	if p, ok := r.procs[key]; ok {
 		return p, nil
 	}

@@ -23,14 +23,19 @@
 // locks; per-worker metrics merge at collection points. When
 // Config.DecodeWorkers > 1 each processor additionally owns a
 // phy.ParallelDecoder whose helper goroutines fan the task's code blocks
-// out, making the effective core demand ≈ Workers × DecodeWorkers. The full
-// threading model is documented in docs/concurrency.md.
+// out, making the effective core demand ≈ Workers × DecodeWorkers. The
+// degradation ladder adds one more goroutine when Degrade.Enable is set —
+// the headroom controller, which writes per-cell level words that Submit
+// reads via atomic loads; workers only ever see the level frozen into
+// Task.Degrade at submission (see degradeState). The full threading model
+// is documented in docs/concurrency.md.
 package dataplane
 
 import (
 	"container/heap"
 	"time"
 
+	"pran/internal/cluster"
 	"pran/internal/frame"
 	"pran/internal/phy"
 )
@@ -61,6 +66,11 @@ type Task struct {
 	Deadline time.Time
 	// Enqueued is when the task entered the pool.
 	Enqueued time.Time
+	// Degrade is the degradation-ladder level this task decodes at,
+	// stamped by Submit from the cell's current level (DegradeNone on a
+	// NoDegrade pool). It selects the worker's iteration cap and kernel
+	// override; tasks only batch with same-level tasks.
+	Degrade cluster.DegradationLevel
 
 	// Soft, when non-nil, supplies the HARQ soft-combining buffer for this
 	// (cell, RNTI, HARQ process); the HARQ manager owns its lifecycle. The
@@ -103,9 +113,11 @@ func (t *Task) Missed() bool { return t.Finished.After(t.Deadline) }
 func (t *Task) joinable() bool { return t.runInstead == nil }
 
 // sameShape reports whether two tasks decode identically-shaped transport
-// blocks — the grouping key for cross-codeword batching.
+// blocks at the same degradation level — the grouping key for
+// cross-codeword batching (a joint dispatch runs one kernel and one
+// iteration budget, so mixed-level groups must not form).
 func (t *Task) sameShape(o *Task) bool {
-	return t.Alloc.MCS == o.Alloc.MCS && t.Alloc.NumPRB == o.Alloc.NumPRB
+	return t.Alloc.MCS == o.Alloc.MCS && t.Alloc.NumPRB == o.Alloc.NumPRB && t.Degrade == o.Degrade
 }
 
 // Latency returns enqueue-to-finish latency.

@@ -55,6 +55,14 @@ const (
 	// dispatch flushed early rather than hold tasks against their HARQ
 	// deadline.
 	MetricBatchFlushRagged = "dataplane.batch_flush_ragged"
+	// MetricDegradeLevel gauges the headroom controller's current
+	// pool-wide degradation-ladder target (0 = full service; see
+	// cluster.DegradationLevel).
+	MetricDegradeLevel = "dataplane.degradation_level"
+	// MetricDegradeRaises counts the controller's level raises.
+	MetricDegradeRaises = "dataplane.degrade_raises"
+	// MetricDegradeLowers counts the controller's level lowers.
+	MetricDegradeLowers = "dataplane.degrade_lowers"
 )
 
 // batchWidthMax is the batch-width histogram's upper bound; widths are
@@ -69,6 +77,11 @@ func CellMetricTasks(cell frame.CellID) string {
 // CellMetricHARQRetransmits returns the per-cell retransmission counter name.
 func CellMetricHARQRetransmits(cell frame.CellID) string {
 	return fmt.Sprintf("cell.%d.harq_retransmits", cell)
+}
+
+// CellMetricDegradeLevel returns the per-cell degradation-level gauge name.
+func CellMetricDegradeLevel(cell frame.CellID) string {
+	return fmt.Sprintf("cell.%d.degradation_level", cell)
 }
 
 // poolTelemetry carries the pool's pre-resolved metric handles. Handles are

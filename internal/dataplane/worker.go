@@ -3,6 +3,7 @@ package dataplane
 import (
 	"time"
 
+	"pran/internal/cluster"
 	"pran/internal/phy"
 )
 
@@ -17,17 +18,20 @@ import (
 type worker struct {
 	pool *Pool
 	id   int
-	// procs caches transport processors keyed by (MCS, NumPRB); nil when
-	// the pool runs in NaiveAlloc mode. With cross-task batching each key
+	// procs caches transport processors keyed by (MCS, NumPRB, kernel);
+	// nil when the pool runs in NaiveAlloc mode. The kernel component
+	// exists for the degradation ladder: a level that forces the int16
+	// kernel decodes through a separate cached processor rather than
+	// mutating the full-fidelity one. With cross-task batching each key
 	// holds one serial processor per potential batch slot (a joint decode
 	// needs a distinct processor per transport block); otherwise the slice
 	// has exactly one fully-configured processor.
 	procs map[procKey][]*phy.TransportProcessor
-	// joints caches joint decoders keyed by turbo block size K, created
-	// only when Config.BatchTasks ≥ 2. The joint decoder carries the
-	// worker's decode parallelism and lockstep batch width; the per-slot
-	// processors above are serial.
-	joints map[int]*phy.JointDecoder
+	// joints caches joint decoders keyed by (turbo block size K, kernel),
+	// created only when Config.BatchTasks ≥ 2. The joint decoder carries
+	// the worker's decode parallelism and lockstep batch width; the
+	// per-slot processors above are serial.
+	joints map[jointKey]*phy.JointDecoder
 
 	// Claim/dispatch scratch, reused across groups.
 	group []*Task
@@ -36,8 +40,14 @@ type worker struct {
 }
 
 type procKey struct {
-	mcs  phy.MCS
-	nprb int
+	mcs    phy.MCS
+	nprb   int
+	kernel phy.DecodeKernel
+}
+
+type jointKey struct {
+	k      int
+	kernel phy.DecodeKernel
 }
 
 func newWorker(p *Pool, id int) *worker {
@@ -46,7 +56,7 @@ func newWorker(p *Pool, id int) *worker {
 		w.procs = make(map[procKey][]*phy.TransportProcessor)
 	}
 	if p.cfg.batchTasks() > 1 {
-		w.joints = make(map[int]*phy.JointDecoder)
+		w.joints = make(map[jointKey]*phy.JointDecoder)
 	}
 	return w
 }
@@ -55,12 +65,23 @@ func newWorker(p *Pool, id int) *worker {
 // joint decoder (cross-task batching enabled).
 func (w *worker) batching() bool { return w.joints != nil }
 
+// kernelFor returns the decode kernel a task at degradation level lvl runs:
+// the pool's configured kernel, overridden to int16 at the ladder rungs
+// that force it.
+func (w *worker) kernelFor(lvl cluster.DegradationLevel) phy.DecodeKernel {
+	if lvl.ForcesInt16() {
+		return phy.KernelInt16
+	}
+	return w.pool.cfg.DecodeKernel
+}
+
 // procOptions returns the construction options for this worker's
-// processors. Under cross-task batching the processors are serial — the
-// joint decoder supplies the worker/batch fan-out.
-func (w *worker) procOptions() phy.ProcOptions {
+// processors running the given kernel. Under cross-task batching the
+// processors are serial — the joint decoder supplies the worker/batch
+// fan-out.
+func (w *worker) procOptions(kern phy.DecodeKernel) phy.ProcOptions {
 	cfg := w.pool.cfg
-	opts := phy.ProcOptions{Kernel: cfg.DecodeKernel, FrontEnd: cfg.FrontEnd}
+	opts := phy.ProcOptions{Kernel: kern, FrontEnd: cfg.FrontEnd}
 	if !w.batching() {
 		opts.Workers = cfg.decodeWorkers()
 		opts.Batch = cfg.decodeBatch()
@@ -68,18 +89,18 @@ func (w *worker) procOptions() phy.ProcOptions {
 	return opts
 }
 
-// processor returns slot n's transport processor for the configuration,
-// cached per worker unless the GC-pressure ablation is on. In NaiveAlloc
-// mode the caller owns the returned processor and must Close it after use
-// (the cached ones are closed when the worker exits). The solo decode and
-// downlink-encode paths use slot 0; joint decodes use one slot per
-// transport block in the batch.
-func (w *worker) processor(mcs phy.MCS, nprb, n int) (*phy.TransportProcessor, error) {
-	opts := w.procOptions()
+// processor returns slot n's transport processor for the configuration and
+// kernel, cached per worker unless the GC-pressure ablation is on. In
+// NaiveAlloc mode the caller owns the returned processor and must Close it
+// after use (the cached ones are closed when the worker exits). The solo
+// decode and downlink-encode paths use slot 0; joint decodes use one slot
+// per transport block in the batch.
+func (w *worker) processor(mcs phy.MCS, nprb, n int, kern phy.DecodeKernel) (*phy.TransportProcessor, error) {
+	opts := w.procOptions(kern)
 	if w.procs == nil {
 		return phy.NewTransportProcessorOpts(mcs, nprb, opts)
 	}
-	key := procKey{mcs, nprb}
+	key := procKey{mcs: mcs, nprb: nprb, kernel: kern}
 	s := w.procs[key]
 	for len(s) <= n {
 		p, err := phy.NewTransportProcessorOpts(mcs, nprb, opts)
@@ -92,20 +113,21 @@ func (w *worker) processor(mcs phy.MCS, nprb, n int) (*phy.TransportProcessor, e
 	return s[n], nil
 }
 
-// joint returns the worker's joint decoder for turbo block size k, creating
-// it on first use.
-func (w *worker) joint(k int) (*phy.JointDecoder, error) {
-	if jd, ok := w.joints[k]; ok {
+// joint returns the worker's joint decoder for turbo block size k and
+// decode kernel, creating it on first use.
+func (w *worker) joint(k int, kern phy.DecodeKernel) (*phy.JointDecoder, error) {
+	key := jointKey{k: k, kernel: kern}
+	if jd, ok := w.joints[key]; ok {
 		return jd, nil
 	}
 	cfg := w.pool.cfg
 	jd, err := phy.NewJointDecoder(k, phy.ParallelOptions{
-		Workers: cfg.decodeWorkers(), Kernel: cfg.DecodeKernel, Batch: cfg.decodeBatch(),
+		Workers: cfg.decodeWorkers(), Kernel: kern, Batch: cfg.decodeBatch(),
 	})
 	if err != nil {
 		return nil, err
 	}
-	w.joints[k] = jd
+	w.joints[key] = jd
 	return jd, nil
 }
 
@@ -184,7 +206,7 @@ func (w *worker) execute(t *Task) {
 		t.Finished = time.Now()
 		return
 	}
-	proc, err := w.processor(t.Alloc.MCS, t.Alloc.NumPRB, 0)
+	proc, err := w.processor(t.Alloc.MCS, t.Alloc.NumPRB, 0, w.kernelFor(t.Degrade))
 	if err != nil {
 		t.Err = err
 		t.Finished = time.Now()
@@ -193,6 +215,10 @@ func (w *worker) execute(t *Task) {
 	if w.procs == nil {
 		defer proc.Close()
 	}
+	// IterCap is 0 at level 0, which SetMaxIterations maps back to the
+	// default budget — a cached processor left capped by a degraded task
+	// is restored before the next full-fidelity decode.
+	proc.SetMaxIterations(t.Degrade.IterCap())
 	payload, err := proc.Decode(t.REs, t.N0, uint16(t.Alloc.RNTI), t.PCI, t.TTI.Subframe(), int(t.Alloc.RV), t.Soft)
 	t.Payload = payload
 	t.Err = err
@@ -237,8 +263,11 @@ func (w *worker) executeJoint(group []*Task) {
 			t.Finished = fin
 		}
 	}
+	// The group is shape-uniform (sameShape includes the degradation
+	// level), so one kernel choice and one iteration budget cover it.
+	kern := w.kernelFor(live[0].Degrade)
 	for n, t := range live {
-		proc, err := w.processor(t.Alloc.MCS, t.Alloc.NumPRB, n)
+		proc, err := w.processor(t.Alloc.MCS, t.Alloc.NumPRB, n, kern)
 		if err != nil {
 			failAll(err)
 			return
@@ -249,11 +278,12 @@ func (w *worker) executeJoint(group []*Task) {
 			RV: int(t.Alloc.RV), SB: t.Soft,
 		})
 	}
-	jd, err := w.joint(reqs[0].P.CodeBlockSize())
+	jd, err := w.joint(reqs[0].P.CodeBlockSize(), kern)
 	if err != nil {
 		failAll(err)
 		return
 	}
+	jd.SetMaxIterations(live[0].Degrade.IterCap())
 	// A call-level DecodeJoint error lands in every request's Err field,
 	// so the per-task copy below propagates both outcomes.
 	_ = jd.DecodeJoint(reqs)

@@ -1,5 +1,5 @@
 // Package experiments regenerates PRAN's evaluation: one function per
-// reconstructed table/figure (E1–E18, indexed in DESIGN.md §4). Each returns
+// reconstructed table/figure (E1–E19, indexed in DESIGN.md §4). Each returns
 // a Result whose rows cmd/pran-bench prints and whose headline numbers the
 // root bench_test.go reports as benchmark metrics. The quick flag trades
 // sweep breadth for runtime so `go test -bench` stays fast; the full sweeps
@@ -24,7 +24,7 @@ import (
 
 // Result is one experiment's regenerated table.
 type Result struct {
-	// ID is the experiment identifier (E1..E18).
+	// ID is the experiment identifier (E1..E19).
 	ID string
 	// Title describes the paper artifact the experiment reconstructs.
 	Title string
@@ -86,6 +86,7 @@ func All(quick bool) ([]Result, error) {
 		E16Scale,
 		func(q bool) (Result, error) { return E17BatchSpeedup(q, 8) },
 		E18VectorFrontEnd,
+		E19OverloadCurve,
 	}
 	var out []Result
 	for _, fn := range runs {

@@ -416,6 +416,41 @@ func TestE15RecoveryShapes(t *testing.T) {
 	}
 }
 
+func TestE19OverloadShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured load experiment")
+	}
+	// Wall-clock experiment: like E5, sibling test binaries can saturate the
+	// host and squeeze both variants equally, so retry and only fail on a
+	// consistent violation.
+	var last string
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err := E19OverloadCurve(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := r.Metrics["goodput_gain_x2.0"]
+		switch {
+		case gain < 1.1:
+			// Acceptance is ≥1.5x (measured ~2.2x); assert a much looser
+			// 1.1x so a loaded CI host doesn't flake. The CI jq gate on the
+			// fresh BENCH_E19.json holds the ≥1x floor.
+			last = fmt.Sprintf("ladder goodput gain at 2x load %.2fx below 1.1x", gain)
+		case r.Metrics["miss_monotone"] != 1:
+			last = "deadline-miss curve not monotone in offered load"
+		case r.Metrics["miss_ladder_x3.0"] > r.Metrics["miss_base_x3.0"]+0.05:
+			last = fmt.Sprintf("ladder missed more than baseline at 3x: %.3f vs %.3f",
+				r.Metrics["miss_ladder_x3.0"], r.Metrics["miss_base_x3.0"])
+		case len(r.Rows) != 4 || len(r.Header) != len(r.Rows[0]) || r.String() == "":
+			t.Fatal("table malformed")
+		default:
+			return // shapes hold
+		}
+		t.Logf("attempt %d: %s (likely CPU contention; retrying)", attempt+1, last)
+	}
+	t.Fatal(last)
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{ID: "EX", Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}, Notes: []string{"n"}}
 	s := r.String()

@@ -76,6 +76,14 @@ func (jd *JointDecoder) Workers() int { return jd.par.Workers() }
 // Batch returns the lockstep batch width (1 = scalar per-block decode).
 func (jd *JointDecoder) Batch() int { return jd.par.Batch() }
 
+// SetMaxIterations bounds the pooled workers' turbo iterations for
+// subsequent DecodeJoint calls (n ≤ 0 restores the default budget). Only
+// the owning goroutine may call this, between calls.
+func (jd *JointDecoder) SetMaxIterations(n int) { jd.par.SetMaxIterations(n) }
+
+// MaxIterations returns the current turbo iteration bound.
+func (jd *JointDecoder) MaxIterations() int { return jd.par.MaxIterations() }
+
 // Close releases the resident worker goroutines. It must not race an
 // in-flight DecodeJoint.
 func (jd *JointDecoder) Close() error { return jd.par.Close() }

@@ -186,6 +186,25 @@ func (pd *ParallelDecoder) Batch() int { return pd.batch }
 // Kernel returns the SISO kernel the per-worker decoders run.
 func (pd *ParallelDecoder) Kernel() DecodeKernel { return pd.ws[0].dec.Kernel() }
 
+// SetMaxIterations bounds every per-worker decoder's full turbo iterations
+// (scalar and lockstep alike); n ≤ 0 restores the default budget. Like
+// Decode, only the owning goroutine may call this, and only between decode
+// calls — the helpers read the bound when a call wakes them.
+func (pd *ParallelDecoder) SetMaxIterations(n int) {
+	if n <= 0 {
+		n = DefaultTurboIterations
+	}
+	for i := range pd.ws {
+		pd.ws[i].dec.MaxIterations = n
+		if pd.ws[i].bd != nil {
+			pd.ws[i].bd.MaxIterations = n
+		}
+	}
+}
+
+// MaxIterations returns the per-decoder iteration bound.
+func (pd *ParallelDecoder) MaxIterations() int { return pd.ws[0].dec.MaxIterations }
+
 // K returns the turbo block size.
 func (pd *ParallelDecoder) K() int { return pd.ws[0].dec.K() }
 

@@ -337,6 +337,29 @@ func (p *TransportProcessor) Batch() int {
 // Kernel returns the turbo SISO kernel the processor decodes with.
 func (p *TransportProcessor) Kernel() DecodeKernel { return p.kernel }
 
+// SetMaxIterations bounds the turbo decoders' full iterations for subsequent
+// Decode calls (n ≤ 0 restores the default budget) — the degradation
+// ladder's iteration-cap knob. Like Decode, only the owning goroutine may
+// call this, between decode calls.
+func (p *TransportProcessor) SetMaxIterations(n int) {
+	if p.par != nil {
+		p.par.SetMaxIterations(n)
+		return
+	}
+	if n <= 0 {
+		n = DefaultTurboIterations
+	}
+	p.dec.MaxIterations = n
+}
+
+// MaxIterations returns the current turbo iteration bound.
+func (p *TransportProcessor) MaxIterations() int {
+	if p.par != nil {
+		return p.par.MaxIterations()
+	}
+	return p.dec.MaxIterations
+}
+
 // FrontEnd returns the decode front-end the processor runs.
 func (p *TransportProcessor) FrontEnd() FrontEnd { return p.frontEnd }
 

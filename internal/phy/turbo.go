@@ -23,6 +23,11 @@ const (
 	// TailBits is the total number of multiplexed tail bits (12).
 	TailBits = 4 * turboTail
 
+	// DefaultTurboIterations is the default MaxIterations budget of every
+	// decoder constructor (TurboDecoder, BatchDecoderI16). The degradation
+	// ladder's iteration caps are expressed relative to this.
+	DefaultTurboIterations = 8
+
 	negInf = float32(-1e30)
 )
 
@@ -212,7 +217,7 @@ func NewTurboDecoderKernel(k int, kernel DecodeKernel) (*TurboDecoder, error) {
 		q:             q,
 		kernel:        kernel,
 		hard:          make([]byte, k),
-		MaxIterations: 8,
+		MaxIterations: DefaultTurboIterations,
 	}
 	steps := k + turboTail
 	switch kernel {

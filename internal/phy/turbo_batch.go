@@ -86,7 +86,7 @@ func NewBatchDecoderI16(k, width int) (*BatchDecoderI16, error) {
 	return &BatchDecoderI16{
 		q:             q,
 		width:         w,
-		MaxIterations: 8,
+		MaxIterations: DefaultTurboIterations,
 		ls1:           make([]int16, steps*w),
 		lp1:           make([]int16, steps*w),
 		ls2:           make([]int16, steps*w),
