@@ -162,3 +162,15 @@ func BenchmarkE18_VectorFrontEnd(b *testing.B) {
 func BenchmarkE19_OverloadCurve(b *testing.B) {
 	report(b, experiments.E19OverloadCurve)
 }
+
+// BenchmarkE20_SoakSLO regenerates the chaos-soak SLO table: a real
+// controller and agents over loopback ctrlproto run compressed simulated
+// traffic shaped by workload-diversity events through a scripted fault
+// timeline (stalls, half-open and full partitions, crash/restart), and the
+// windowed SLO gates — miss rate, goodput floor, detection/MTTR budgets,
+// degradation ceiling, zero lost cells — are republished as metrics with a
+// single pass bit. Quick mode still covers ≥60 simulated seconds (~22 s
+// wall per iteration).
+func BenchmarkE20_SoakSLO(b *testing.B) {
+	report(b, experiments.E20SoakSLO)
+}

@@ -1,5 +1,5 @@
 // Command pran-bench regenerates the PRAN evaluation: every reconstructed
-// table and figure (E1–E19, indexed in DESIGN.md §4) as printable tables.
+// table and figure (E1–E20, indexed in DESIGN.md §4) as printable tables.
 //
 // Usage:
 //
@@ -9,6 +9,7 @@
 //	pran-bench -list          # list experiment IDs
 //	pran-bench -json outdir   # additionally write BENCH_<id>.json per result
 //	pran-bench -batch 4       # cap E17's lockstep width sweep (1 = scalar only)
+//	pran-bench -seed 7        # shift every experiment's workload seeds (1 = committed baselines)
 //	pran-bench -telemetry     # dump the process telemetry snapshot after the run
 //	pran-bench -cpuprofile cpu.out -run E13   # profile one experiment
 package main
@@ -35,8 +36,9 @@ func main() {
 
 func run() int {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
-	runID := flag.String("run", "", "run a single experiment by ID (E1..E19)")
+	runID := flag.String("run", "", "run a single experiment by ID (E1..E20)")
 	batchW := flag.Int("batch", 8, "maximum lockstep batch width E17 sweeps (1 = scalar baseline only)")
+	seed := flag.Int64("seed", 1, "base workload seed; 1 reproduces the committed baselines, reports record derived seeds for replay")
 	dumpTelemetry := flag.Bool("telemetry", false, "print the process-default telemetry snapshot after the run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonDir := flag.String("json", "", "directory to write per-experiment BENCH_<id>.json files (empty disables)")
@@ -67,7 +69,9 @@ func run() int {
 		{"E17", func(q bool) (experiments.Result, error) { return experiments.E17BatchSpeedup(q, *batchW) }},
 		{"E18", experiments.E18VectorFrontEnd},
 		{"E19", experiments.E19OverloadCurve},
+		{"E20", experiments.E20SoakSLO},
 	}
+	experiments.SetBaseSeed(*seed)
 
 	if *list {
 		for _, e := range table {

@@ -86,7 +86,7 @@ func runLiveRecovery(nCells int, hb time.Duration, misses int, ttiInterval time.
 				Telemetry: telemetry.New(1),
 			},
 			TTIInterval:  ttiInterval,
-			Seed:         int64(id),
+			Seed:         seedFor(int64(id)),
 			ReconnectMin: 20 * time.Millisecond,
 			ReconnectMax: 200 * time.Millisecond,
 			Dial:         inj.Dial,

@@ -167,11 +167,11 @@ func E19OverloadCurve(quick bool) (Result, error) {
 	missMonotone := 1.0
 	const missTol = 0.02 // Poisson-arrival noise allowance between points
 	for i, load := range loads {
-		base, err := runOverloadPoint(tpls, baseCfg, load, nTasks, 1900+int64(i))
+		base, err := runOverloadPoint(tpls, baseCfg, load, nTasks, seedFor(1900+int64(i)))
 		if err != nil {
 			return res, err
 		}
-		ladder, err := runOverloadPoint(tpls, ladderCfg, load, nTasks, 1900+int64(i))
+		ladder, err := runOverloadPoint(tpls, ladderCfg, load, nTasks, seedFor(1900+int64(i)))
 		if err != nil {
 			return res, err
 		}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pran/internal/soak"
+)
+
+// E20SoakSLO runs the chaos soak harness end to end — a real controller and
+// agents over loopback ctrlproto, measured-mode pools, compressed simulated
+// traffic shaped by workload-diversity events (flash crowd, mobility wave,
+// regional surge), and a scripted fault timeline (worker stalls, half-open
+// and full partitions, crash/restart) — then republishes the windowed SLO
+// verdicts as the experiment table. Quick runs soak.QuickConfig (~22 s wall,
+// ≥60 s simulated, 8 cells / 2 agents); full runs soak.DefaultConfig
+// (~2 min wall, 12 cells / 3 agents). The pass metric is the report's single
+// CI gate bit: every SLO held.
+func E20SoakSLO(quick bool) (Result, error) {
+	var cfg soak.Config
+	if quick {
+		cfg = soak.QuickConfig()
+	} else {
+		cfg = soak.DefaultConfig()
+	}
+	cfg.Seed = seedFor(cfg.Seed)
+	rep, err := soak.Run(cfg)
+	if err != nil {
+		return Result{ID: "E20"}, err
+	}
+	return e20Result(rep), nil
+}
+
+// e20Result converts a soak report into the experiment table: one row per
+// SLO gate plus headline metrics for the benchmark reporter and CI gates. An
+// SLO failure is data, not an error — the pass metric carries the verdict so
+// the jq gates decide.
+func e20Result(rep *soak.Report) Result {
+	res := Result{
+		ID:      "E20",
+		Title:   "Chaos soak: windowed SLOs under traffic events and fault injection",
+		Header:  []string{"slo", "value", "limit", "pass", "detail"},
+		Metrics: map[string]float64{},
+	}
+	for _, s := range rep.SLOs {
+		ok := "yes"
+		if !s.Pass {
+			ok = "NO"
+		}
+		res.Rows = append(res.Rows, []string{s.Name, f(s.Value), f(s.Limit), ok, s.Detail})
+		res.Metrics[s.Name] = s.Value
+	}
+	res.Metrics["miss_rate"] = rep.Totals.MissRate
+	res.Metrics["on_time_frac"] = rep.Totals.OnTimeFrac
+	res.Metrics["max_degrade"] = float64(rep.Totals.MaxDegrade)
+	res.Metrics["lost_cells"] = float64(rep.LostCells)
+	res.Metrics["sim_seconds"] = rep.SimSeconds
+	res.Metrics["windows"] = float64(len(rep.Windows))
+	res.Metrics["chaos_actions"] = float64(len(rep.Chaos))
+	res.Metrics["traffic_events"] = float64(len(rep.TrafficEvents))
+	res.Metrics["pass"] = 0
+	if rep.Pass {
+		res.Metrics["pass"] = 1
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("seed %d, %d cells / %d agents, %.0f s wall, %.0f s simulated — replay with: pran-soak -quick -seed %d",
+			rep.Seed, rep.Cells, rep.Agents, rep.WallSeconds, rep.SimSeconds, rep.Seed),
+		fmt.Sprintf("traffic events: %v; %d chaos actions over %d SLO windows",
+			rep.TrafficEvents, len(rep.Chaos), len(rep.Windows)),
+		"detection = lease-expiry latency for cell-displacing faults; MTTR = fault onset → every cell applied to a live agent")
+	return res
+}

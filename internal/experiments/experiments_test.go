@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pran/internal/phy"
+	"pran/internal/soak"
 )
 
 // These tests run every experiment in quick mode and assert the *shapes*
@@ -456,5 +457,68 @@ func TestResultString(t *testing.T) {
 	s := r.String()
 	if !strings.Contains(s, "EX") || !strings.Contains(s, "note: n") {
 		t.Fatalf("render: %q", s)
+	}
+}
+
+// TestE20SoakResultShape checks the soak-report → experiment-table
+// conversion on a fabricated report, so the shape is covered without paying
+// the soak's wall clock here (the live run is covered by internal/soak's
+// smoke test and the E20 CI gates).
+func TestE20SoakResultShape(t *testing.T) {
+	rep := &soak.Report{
+		Seed: 7, Cells: 8, Agents: 2,
+		WallSeconds: 22, SimSeconds: 160,
+		TrafficEvents: []string{"flash_crowd", "mobility_wave", "regional_surge"},
+		Windows:       make([]soak.WindowReport, 10),
+		Chaos:         []soak.ChaosRecord{{Kind: "crash_restart", DetectionMS: 2000, MTTRMS: 2500}},
+		Totals:        soak.Totals{Completed: 900, Misses: 10, OnTime: 890, MissRate: 0.011, OnTimeFrac: 0.98, MaxDegrade: 2},
+		Recovered:     true,
+		SLOs: []soak.SLOResult{
+			{Name: "deadline_miss_rate", Value: 0.011, Limit: 0.10, Pass: true},
+			{Name: "lost_cells", Value: 0, Limit: 0, Pass: true},
+		},
+		Pass: true,
+	}
+	r := e20Result(rep)
+	if r.ID != "E20" || len(r.Rows) != len(rep.SLOs) || len(r.Header) != len(r.Rows[0]) {
+		t.Fatalf("table malformed: %+v", r)
+	}
+	if r.Metrics["pass"] != 1 || r.Metrics["deadline_miss_rate"] != 0.011 {
+		t.Fatalf("metrics: %v", r.Metrics)
+	}
+	for _, m := range []string{"miss_rate", "on_time_frac", "lost_cells", "sim_seconds", "windows", "chaos_actions", "max_degrade"} {
+		if _, ok := r.Metrics[m]; !ok {
+			t.Fatalf("metric %q missing", m)
+		}
+	}
+	if !strings.Contains(r.String(), "pran-soak -quick -seed 7") {
+		t.Fatalf("replay hint missing:\n%s", r.String())
+	}
+	rep.Pass = false
+	rep.SLOs[0].Pass = false
+	if r2 := e20Result(rep); r2.Metrics["pass"] != 0 || !strings.Contains(r2.String(), "NO") {
+		t.Fatal("failing report must surface pass=0 and a NO row")
+	}
+}
+
+// TestSeedFor checks the base-seed plumbing: the default base is the
+// identity (committed baselines stay bit-identical) and other bases shift
+// every derived seed deterministically.
+func TestSeedFor(t *testing.T) {
+	defer SetBaseSeed(1)
+	SetBaseSeed(1)
+	if got := seedFor(1900); got != 1900 {
+		t.Fatalf("default base must pass through: %d", got)
+	}
+	SetBaseSeed(7)
+	a, b := seedFor(1900), seedFor(1900)
+	if a == 1900 || a != b {
+		t.Fatalf("shifted base not deterministic: %d %d", a, b)
+	}
+	if seedFor(1900) == seedFor(1901) {
+		t.Fatal("distinct locals collided")
+	}
+	if BaseSeed() != 7 {
+		t.Fatalf("BaseSeed = %d", BaseSeed())
 	}
 }

@@ -12,11 +12,17 @@
 // so message-level loss models the *observable* failure (silence) without
 // corrupting the stream.
 //
+// Partitions may be symmetric (Partition cuts both directions) or one-sided
+// (PartitionDirs cuts only agent→controller writes or only controller→agent
+// reads), modelling half-open network failures where one peer still hears
+// the other — the hardest case for lease-based failure detection.
+//
 // Concurrency: an Injector is safe for concurrent use from any goroutine —
 // wrapped connections consult it under its mutex on each read/write, and the
-// scripting methods (Partition, Heal, SetDropRate, SetDelay, CloseAll) may be
-// called while connections are active. Reads blocked on a partition park on
-// a generation channel and wake on Heal or connection close.
+// scripting methods (Partition, PartitionDirs, Heal, SetDropRate, SetDelay,
+// CloseAll) may be called while connections are active. Reads blocked on a
+// partition park on a generation channel and wake on Heal or connection
+// close.
 package faultinject
 
 import (
@@ -42,6 +48,9 @@ type Stats struct {
 	KilledConns uint64
 	// RefusedDials counts Dial calls rejected during a partition.
 	RefusedDials uint64
+	// BlockedReads counts reads that parked on an inbound partition (each
+	// blocking episode counts once, however long it lasts).
+	BlockedReads uint64
 }
 
 // Injector owns the fault state shared by every connection it wraps.
@@ -51,9 +60,16 @@ type Injector struct {
 	drop  float64       // probability a write is silently swallowed
 	delay time.Duration // added latency per write
 
-	partitioned bool
-	// healCh is closed on Heal; readers blocked on the partition wait on
-	// the channel that was current when they parked.
+	// partInbound cuts controller→agent delivery (reads on wrapped conns
+	// park); partOutbound cuts agent→controller delivery (writes are
+	// swallowed). Partition() sets both — a full two-way cut — while
+	// PartitionDirs can cut one side only, modelling the half-open failures
+	// (e.g. asymmetric routing or firewall state loss) that make failure
+	// detection hard: one peer still hears the other.
+	partInbound  bool
+	partOutbound bool
+	// healCh is closed whenever the inbound partition lifts; readers blocked
+	// on the partition wait on the channel that was current when they parked.
 	healCh chan struct{}
 
 	conns map[*Conn]struct{}
@@ -86,7 +102,9 @@ func (in *Injector) Wrap(nc net.Conn) *Conn {
 // connections either.
 func (in *Injector) Dial(network, addr string) (net.Conn, error) {
 	in.mu.Lock()
-	if in.partitioned {
+	if in.partInbound || in.partOutbound {
+		// Opening a connection needs both directions (the ctrlproto handshake
+		// is a write followed by a read), so either cut refuses the dial.
 		in.stats.RefusedDials++
 		in.mu.Unlock()
 		return nil, fmt.Errorf("faultinject: dial %s: %w", addr, ErrPartitioned)
@@ -114,30 +132,46 @@ func (in *Injector) SetDelay(d time.Duration) {
 	in.mu.Unlock()
 }
 
-// Partition cuts the network: subsequent writes are swallowed, reads block
-// until Heal (or the connection closes), and Dial fails. Idempotent.
+// Partition cuts the network both ways: subsequent writes are swallowed,
+// reads block until Heal (or the connection closes), and Dial fails.
+// Idempotent.
 func (in *Injector) Partition() {
-	in.mu.Lock()
-	in.partitioned = true
-	in.mu.Unlock()
+	in.PartitionDirs(true, true)
 }
 
-// Heal ends a partition and wakes blocked readers. Idempotent.
-func (in *Injector) Heal() {
+// PartitionDirs sets the per-direction partition state: inbound cuts
+// controller→agent delivery (reads park), outbound cuts agent→controller
+// delivery (writes are swallowed). Passing false for a currently-cut
+// direction heals that direction, so PartitionDirs(false, false) == Heal.
+func (in *Injector) PartitionDirs(inbound, outbound bool) {
 	in.mu.Lock()
-	if in.partitioned {
-		in.partitioned = false
+	if in.partInbound && !inbound {
 		close(in.healCh)
 		in.healCh = make(chan struct{})
 	}
+	in.partInbound = inbound
+	in.partOutbound = outbound
 	in.mu.Unlock()
 }
 
-// Partitioned reports whether the injector is currently partitioned.
+// Heal ends a partition in both directions and wakes blocked readers.
+// Idempotent.
+func (in *Injector) Heal() {
+	in.PartitionDirs(false, false)
+}
+
+// Partitioned reports whether any direction is currently partitioned.
 func (in *Injector) Partitioned() bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.partitioned
+	return in.partInbound || in.partOutbound
+}
+
+// PartitionState returns the per-direction partition flags.
+func (in *Injector) PartitionState() (inbound, outbound bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.partInbound, in.partOutbound
 }
 
 // CloseAll force-closes every live wrapped connection (crash injection —
@@ -173,7 +207,7 @@ func (in *Injector) Stats() Stats {
 func (in *Injector) writeFault() (delay time.Duration, drop bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if in.partitioned || (in.drop > 0 && in.rng.Float64() < in.drop) {
+	if in.partOutbound || (in.drop > 0 && in.rng.Float64() < in.drop) {
 		in.stats.DroppedWrites++
 		return 0, true
 	}
@@ -216,10 +250,15 @@ func (c *Conn) closedChan() chan struct{} {
 // buffers are delivered after the heal, modelling delayed rather than
 // corrupted delivery.
 func (c *Conn) Read(b []byte) (int, error) {
+	counted := false
 	for {
 		c.inj.mu.Lock()
-		part := c.inj.partitioned
+		part := c.inj.partInbound
 		heal := c.inj.healCh
+		if part && !counted {
+			c.inj.stats.BlockedReads++
+			counted = true
+		}
 		c.inj.mu.Unlock()
 		if !part {
 			break
@@ -281,6 +320,23 @@ var ErrWorkerCrash = errors.New("faultinject: injected worker crash")
 // NewWorkerFault returns a seeded data-plane fault source.
 func NewWorkerFault(seed int64) *WorkerFault {
 	return &WorkerFault{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetStall reconfigures the stall schedule while workers are live: one task
+// in every `every` sleeps for d (every <= 0 turns stalls off).
+func (w *WorkerFault) SetStall(every int, d time.Duration) {
+	w.mu.Lock()
+	w.StallEvery = every
+	w.StallFor = d
+	w.mu.Unlock()
+}
+
+// SetCrash reconfigures the crash schedule while workers are live: one task
+// in every `every` fails with ErrWorkerCrash (every <= 0 turns crashes off).
+func (w *WorkerFault) SetCrash(every int) {
+	w.mu.Lock()
+	w.CrashEvery = every
+	w.mu.Unlock()
 }
 
 // Hook is called by a pool worker at task start; it may sleep (stall) and

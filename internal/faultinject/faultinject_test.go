@@ -188,6 +188,153 @@ func TestDelayAddsLatency(t *testing.T) {
 	}
 }
 
+func TestOutboundOnlyPartition(t *testing.T) {
+	in := New(11)
+	c, s := pipePair(t, in)
+	in.PartitionDirs(false, true)
+	if inb, outb := in.PartitionState(); inb || !outb {
+		t.Fatalf("state = (%v,%v), want (false,true)", inb, outb)
+	}
+	if !in.Partitioned() {
+		t.Fatal("Partitioned() false with outbound cut")
+	}
+	// Client→server writes are swallowed...
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatalf("outbound-partitioned write must report success: %v", err)
+	}
+	if st := in.Stats(); st.DroppedWrites != 1 {
+		t.Fatalf("dropped = %d", st.DroppedWrites)
+	}
+	// ...but server→client delivery still flows: the half-open case where
+	// the controller keeps talking to an agent it can no longer hear.
+	if _, err := s.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("inbound read under outbound-only cut: %q %v", buf, err)
+	}
+	if st := in.Stats(); st.BlockedReads != 0 {
+		t.Fatalf("blocked reads = %d under outbound-only cut", st.BlockedReads)
+	}
+	in.Heal()
+	if _, err := c.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	buf4 := make([]byte, 4)
+	_ = s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := s.Read(buf4); err != nil || string(buf4) != "back" {
+		t.Fatalf("post-heal delivery: %q %v", buf4, err)
+	}
+}
+
+func TestInboundOnlyPartition(t *testing.T) {
+	in := New(12)
+	c, s := pipePair(t, in)
+	in.PartitionDirs(true, false)
+	// Client→server writes still flow: the agent keeps reporting to a
+	// controller whose responses it can no longer hear.
+	if _, err := c.Write([]byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	_ = s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := s.Read(buf); err != nil || string(buf) != "up" {
+		t.Fatalf("outbound write under inbound-only cut: %q %v", buf, err)
+	}
+	if st := in.Stats(); st.DroppedWrites != 0 {
+		t.Fatalf("dropped = %d under inbound-only cut", st.DroppedWrites)
+	}
+	// Server→client delivery parks until heal.
+	if _, err := s.Write([]byte("dn")); err != nil {
+		t.Fatal(err)
+	}
+	readDone := make(chan error, 1)
+	go func() {
+		b := make([]byte, 2)
+		_, err := c.Read(b)
+		readDone <- err
+	}()
+	select {
+	case <-readDone:
+		t.Fatal("read completed during inbound partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if st := in.Stats(); st.BlockedReads != 1 {
+		t.Fatalf("blocked reads = %d, want 1", st.BlockedReads)
+	}
+	in.PartitionDirs(false, false)
+	select {
+	case err := <-readDone:
+		if err != nil {
+			t.Fatalf("post-heal read: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still blocked after directional heal")
+	}
+}
+
+func TestDialRefusedUnderEitherDirection(t *testing.T) {
+	in := New(13)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	for i, dirs := range [][2]bool{{true, false}, {false, true}} {
+		in.PartitionDirs(dirs[0], dirs[1])
+		if _, err := in.Dial("tcp", ln.Addr().String()); !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("case %d: dial under one-sided cut: %v", i, err)
+		}
+	}
+	if st := in.Stats(); st.RefusedDials != 2 {
+		t.Fatalf("refused = %d", st.RefusedDials)
+	}
+	in.Heal()
+	c, err := in.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	_ = c.Close()
+}
+
+func TestWorkerFaultSetters(t *testing.T) {
+	wf := NewWorkerFault(14)
+	wf.SetCrash(2)
+	crashes := 0
+	for i := 0; i < 4; i++ {
+		if err := wf.Hook(0); err != nil {
+			crashes++
+		}
+	}
+	if crashes != 2 {
+		t.Fatalf("crashes = %d, want 2", crashes)
+	}
+	wf.SetCrash(0)
+	for i := 0; i < 8; i++ {
+		if err := wf.Hook(0); err != nil {
+			t.Fatalf("crash after SetCrash(0): %v", err)
+		}
+	}
+	wf.SetStall(1, 5*time.Millisecond)
+	start := time.Now()
+	if err := wf.Hook(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("stall took %v, want ≥ 5ms", d)
+	}
+	wf.SetStall(0, 0)
+	start = time.Now()
+	if err := wf.Hook(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 3*time.Millisecond {
+		t.Fatalf("stall still active after SetStall(0,0): %v", d)
+	}
+}
+
 func TestWorkerFaultSchedule(t *testing.T) {
 	wf := NewWorkerFault(9)
 	wf.CrashEvery = 4

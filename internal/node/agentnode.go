@@ -36,6 +36,19 @@ type AgentConfig struct {
 	// scaled subframe duration (DeadlineScale × 1 ms) so load ratios match
 	// the deadline scale.
 	TTIInterval time.Duration
+	// TTIStride compresses simulated time: each real tick advances the TTI
+	// counter by this many subframes (default 1). The data plane still
+	// processes one subframe per tick — the stride only moves the traffic
+	// model's clock faster, so a minutes-long diurnal/event timeline fits a
+	// seconds-long run. Soak and experiment harnesses use it; production-like
+	// runs leave it at 1.
+	TTIStride int
+	// Schedule, when non-nil, installs a system-wide workload-diversity
+	// event schedule on every assigned cell's traffic generator. Cell IDs
+	// index the schedule directly, so the schedule must cover every cell the
+	// controller may assign, and its start hour must match the agent's
+	// generator start (12h — midday).
+	Schedule *traffic.Schedule
 	// Seed drives the agent's local traffic emulation (and reconnect
 	// jitter).
 	Seed int64
@@ -141,6 +154,9 @@ func NewAgentNode(cfg AgentConfig) (*AgentNode, error) {
 	if cfg.TTIInterval <= 0 {
 		cfg.TTIInterval = time.Duration(float64(time.Millisecond) * cfg.Pool.DeadlineScale)
 	}
+	if cfg.TTIStride < 1 {
+		cfg.TTIStride = 1
+	}
 	nc, err := cfg.Dial("tcp", cfg.ControllerAddr)
 	if err != nil {
 		return nil, err
@@ -215,6 +231,15 @@ func (a *AgentNode) encodeTelemetry() []byte {
 	return data
 }
 
+// TTI returns the agent's current subframe counter. With TTIStride > 1 it
+// advances stride subframes per real tick, so TTI × 1 ms is the simulated
+// time the agent has covered.
+func (a *AgentNode) TTI() frame.TTI {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tti
+}
+
 // NumCells returns how many cells the agent currently runs.
 func (a *AgentNode) NumCells() int {
 	a.mu.Lock()
@@ -230,6 +255,13 @@ func (a *AgentNode) Run() error {
 	a.wg.Add(2)
 	go a.ttiLoop()
 	go a.reportLoop()
+	// Declare owned cells on the initial session too, not just reconnects: a
+	// restarted agent that re-registers before its lease expires would
+	// otherwise leave the controller believing its pre-restart cells are
+	// still applied — a black hole until the next placement change.
+	if err := a.cli().SendCellOwned(a.ownedCells()); err != nil {
+		a.logf("agent %d: declare owned cells: %v", a.cfg.ServerID, err)
+	}
 	var err error
 	for {
 		err = a.commandLoop()
@@ -398,6 +430,11 @@ func (a *AgentNode) assignCell(cmd *ctrlproto.AssignCell) error {
 	if err != nil {
 		return err
 	}
+	if a.cfg.Schedule != nil {
+		if err := gen.SetSchedule(a.cfg.Schedule, int(cmd.Cell)); err != nil {
+			return err
+		}
+	}
 	rt := &cellRuntime{cfg: cellCfg, rrh: rrh, proc: proc, gen: gen}
 	if reg := a.pool.Telemetry(); reg != nil {
 		rt.demandGauge = reg.Gauge(cellDemandMetric(cellCfg.ID))
@@ -476,7 +513,7 @@ func (a *AgentNode) ttiLoop() {
 		}
 		a.mu.Lock()
 		tti := a.tti
-		a.tti++
+		a.tti += frame.TTI(a.cfg.TTIStride)
 		if !a.connected.Load() && len(a.cells) > 0 {
 			inc(a.headlessTTIs, 1) // still serving, controller unreachable
 		}

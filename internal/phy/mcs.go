@@ -3,6 +3,7 @@ package phy
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // MCS tables in the spirit of 36.213 §8.6 (PUSCH). Each MCS index 0–28
@@ -101,25 +102,47 @@ func (m MCS) TransportBlockSize(nprb int) (int, error) {
 // at modulation transitions, where a fresh low-rate code can be more robust
 // than the preceding high-rate one at near-equal efficiency.
 func (m MCS) OperatingSNR() float64 {
+	if m < 0 {
+		return math.Inf(-1)
+	}
+	if m > MaxMCS {
+		m = MaxMCS
+	}
+	operatingSNROnce.Do(fillOperatingSNR)
+	return operatingSNRTable[m]
+}
+
+// operatingSNRTable memoizes OperatingSNR per index: the formula walks the
+// whole ladder with a transcendental evaluation per rung, and link
+// adaptation (MCSForSNR) is called per UE allocation on the traffic
+// generator's per-TTI path — recomputing it there cost ~400 pow/log calls
+// per allocation.
+var (
+	operatingSNROnce  sync.Once
+	operatingSNRTable [MaxMCS + 1]float64
+)
+
+func fillOperatingSNR() {
 	best := math.Inf(-1)
-	for i := MCS(0); i <= m && i <= MaxMCS; i++ {
+	for i := MCS(0); i <= MaxMCS; i++ {
 		eff := i.Efficiency()
 		shannon := 10 * math.Log10(math.Pow(2, eff)-1)
 		r := i.CodeRate()
 		if v := shannon + 1.0 + 3.0*r*r; v > best {
 			best = v
 		}
+		operatingSNRTable[i] = best
 	}
-	return best
 }
 
 // MCSForSNR returns the highest MCS whose operating SNR does not exceed
 // snrDB, i.e. link adaptation against the AWGN model. It never returns an
 // index below 0.
 func MCSForSNR(snrDB float64) MCS {
+	operatingSNROnce.Do(fillOperatingSNR)
 	best := MCS(0)
-	for m := MCS(0); m <= MaxMCS; m++ {
-		if m.OperatingSNR() <= snrDB {
+	for m := MCS(1); m <= MaxMCS; m++ {
+		if operatingSNRTable[m] <= snrDB {
 			best = m
 		}
 	}

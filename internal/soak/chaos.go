@@ -1,0 +1,226 @@
+package soak
+
+import (
+	"math/rand"
+	"time"
+)
+
+// chaosAction is one scripted fault: kind, when it fires (fraction of the
+// soak duration), and how long it holds.
+type chaosAction struct {
+	kind    string
+	atFrac  float64
+	durFrac float64
+}
+
+// chaosPlan lays the fault timeline out over the soak: every kind fires at
+// least once, spread through the middle of the run so the first and last
+// windows measure the healthy baseline. Longer soaks repeat the cycle.
+func chaosPlan(cfg Config, rng *rand.Rand) []chaosAction {
+	kinds := []string{"worker_stall", "partition_outbound", "crash_restart", "partition_inbound", "partition_full"}
+	// One action per ~20 s of wall clock, at least one full cycle.
+	n := int(cfg.Duration.Seconds() / 20 * float64(len(kinds)))
+	if n < len(kinds) {
+		n = len(kinds)
+	}
+	var plan []chaosAction
+	for i := 0; i < n; i++ {
+		frac := 0.12 + (0.78-0.12)*float64(i)/float64(n)
+		frac += rng.Float64() * 0.02
+		plan = append(plan, chaosAction{
+			kind:    kinds[i%len(kinds)],
+			atFrac:  frac,
+			durFrac: 0.04 + rng.Float64()*0.03,
+		})
+	}
+	return plan
+}
+
+// victim picks the slot to disturb: the running agent with the most cells
+// for cell-displacing faults (partition, crash), so every such fault
+// actually exercises failover; offset rotates the choice for stalls.
+func (h *Harness) victim(offset int) *agentSlot {
+	var best *agentSlot
+	bestCells := -1
+	running := 0
+	for _, s := range h.slots {
+		if an, ok := s.get(); ok {
+			running++
+			if n := an.NumCells(); n > bestCells {
+				best, bestCells = s, n
+			}
+		}
+	}
+	if best == nil || offset == 0 || running < 2 {
+		return best
+	}
+	// Rotate away from the busiest slot for non-displacing faults.
+	for i, s := range h.slots {
+		if s == best {
+			for d := 1; d <= len(h.slots); d++ {
+				cand := h.slots[(i+d)%len(h.slots)]
+				if _, ok := cand.get(); ok && cand != best {
+					return cand
+				}
+			}
+		}
+	}
+	return best
+}
+
+// runChaos walks the scripted timeline. Each action records a ChaosRecord
+// with measured detection (lease expiry) and MTTR (all cells served again)
+// where the fault displaces cells.
+func (h *Harness) runChaos() {
+	rng := rand.New(rand.NewSource(h.cfg.Seed ^ 0x5eed))
+	plan := chaosPlan(h.cfg, rng)
+	start := time.Now()
+	for _, act := range plan {
+		at := time.Duration(act.atFrac * float64(h.cfg.Duration))
+		select {
+		case <-h.stopCh:
+			return
+		case <-time.After(time.Until(start.Add(at))):
+		}
+		h.execChaos(act, start)
+	}
+}
+
+// execChaos performs one action and appends its record.
+func (h *Harness) execChaos(act chaosAction, soakStart time.Time) {
+	cfg := h.cfg
+	lease := cfg.leaseBudget()
+	dur := time.Duration(act.durFrac * float64(cfg.Duration))
+	if min := 2*lease + 500*time.Millisecond; dur < min {
+		dur = min
+	}
+	rec := ChaosRecord{Kind: act.kind, StartS: time.Since(soakStart).Seconds()}
+
+	var slot *agentSlot
+	switch act.kind {
+	case "worker_stall", "partition_inbound":
+		// Non-displacing faults rotate away from the busiest agent so the
+		// displacing ones keep a loaded victim to exercise failover.
+		slot = h.victim(1)
+	default:
+		slot = h.victim(0)
+	}
+	if slot == nil {
+		return
+	}
+	rec.Agent = slot.id
+	displacing := false
+	switch act.kind {
+	case "partition_outbound", "partition_full", "crash_restart":
+		displacing = slot.hasCells()
+	}
+
+	// Detection and MTTR are clocked concurrently from fault onset: both
+	// typically land while the fault still holds (cells fail over to the
+	// surviving agents mid-partition), so polling only after the heal would
+	// report the fault duration, not the recovery time.
+	var probe chan [2]float64
+	if displacing {
+		expiriesBefore := h.cn.Telemetry().Counter("controller.lease_expiries").Value()
+		onset := time.Now()
+		probe = make(chan [2]float64, 1)
+		victimID := slot.id
+		go func() {
+			d, m := -1.0, -1.0
+			// Detection: the controller notices the fault — the lease sweep
+			// expires a silent agent (partitions), or the connection close
+			// evicts a dead one immediately (crash, no lease expiry); either
+			// way the victim's cells leave the applied placement.
+			if waitUntil(h.stopCh, 4*lease+2*time.Second, func() bool {
+				if h.cn.Telemetry().Counter("controller.lease_expiries").Value() > expiriesBefore {
+					return true
+				}
+				for _, srv := range h.cn.Applied() {
+					if uint32(srv) == victimID {
+						return false
+					}
+				}
+				return true
+			}) {
+				d = time.Since(onset).Seconds() * 1e3
+			}
+			// Recovery: every cell applied to a live agent again.
+			if waitUntil(h.stopCh, cfg.SLO.MaxMTTR+2*time.Second, h.allCellsServed) {
+				m = time.Since(onset).Seconds() * 1e3
+			}
+			probe <- [2]float64{d, m}
+		}()
+	}
+
+	switch act.kind {
+	case "worker_stall":
+		// Stall a third of tasks long enough to shrink deadline slack and
+		// push the degradation ladder, not long enough to wedge the pool.
+		slot.wf.SetStall(3, cfg.TTIInterval*4)
+		h.sleepOrStop(dur)
+		slot.wf.SetStall(0, 0)
+	case "partition_outbound":
+		// Agent falls silent (heartbeats cut) but still hears the
+		// controller: lease expires, cells fail over while the victim keeps
+		// serving headless — the half-open case.
+		slot.inj.PartitionDirs(false, true)
+		h.sleepOrStop(dur)
+		slot.inj.Heal()
+	case "partition_inbound":
+		// Controller→agent delivery parks: the controller's send queue
+		// backs up, but heartbeats keep flowing so the lease must NOT
+		// expire — detection asymmetry under the other half-open case.
+		slot.inj.PartitionDirs(true, false)
+		h.sleepOrStop(dur)
+		slot.inj.Heal()
+	case "partition_full":
+		slot.inj.Partition()
+		h.sleepOrStop(dur)
+		slot.inj.Heal()
+	case "crash_restart":
+		h.stopAgent(slot)
+		h.sleepOrStop(dur)
+		// Restart with the same server identity; registration retries in
+		// case the listener is momentarily saturated.
+		for attempt := 0; attempt < 50; attempt++ {
+			if err := h.startAgent(slot); err == nil {
+				break
+			}
+			if !h.sleepOrStop(100 * time.Millisecond) {
+				break
+			}
+		}
+	}
+
+	if probe != nil {
+		// Both probe waits are bounded (and cut short on stop), so this
+		// receive cannot hang.
+		r := <-probe
+		rec.DetectionMS, rec.MTTRMS = r[0], r[1]
+	}
+	rec.EndS = time.Since(soakStart).Seconds()
+	h.mu.Lock()
+	h.chaos = append(h.chaos, rec)
+	h.mu.Unlock()
+	h.cfg.Logf("soak: chaos %s agent=%d detect=%.0fms mttr=%.0fms",
+		rec.Kind, rec.Agent, rec.DetectionMS, rec.MTTRMS)
+}
+
+// hasCells reports whether the slot's agent currently serves cells.
+func (s *agentSlot) hasCells() bool {
+	if an, ok := s.get(); ok {
+		return an.NumCells() > 0
+	}
+	return false
+}
+
+// sleepOrStop sleeps d unless the soak ends first; it reports whether the
+// full sleep completed.
+func (h *Harness) sleepOrStop(d time.Duration) bool {
+	select {
+	case <-h.stopCh:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

@@ -1,0 +1,309 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"pran/internal/dataplane"
+	"pran/internal/telemetry"
+)
+
+// SLOConfig holds the soak's gate thresholds. Zero fields take defaults in
+// normalize, scaled to the run's lease budget and simulated span.
+type SLOConfig struct {
+	// MaxMissRate caps the whole-run deadline-miss rate (misses over
+	// finished tasks).
+	MaxMissRate float64
+	// MaxWindowMissRate is the per-window miss-rate ceiling; MaxBreachFrac
+	// the fraction of windows allowed to breach it (transient chaos windows
+	// may spike without failing the soak, sustained violation fails).
+	MaxWindowMissRate float64
+	MaxBreachFrac     float64
+	// MinOnTimeFrac is the goodput floor: the fraction of finished tasks
+	// that completed on time, over the whole run.
+	MinOnTimeFrac float64
+	// MaxDetection bounds how long the lease sweep may take to notice a
+	// silent agent (per displacing chaos action).
+	MaxDetection time.Duration
+	// MaxMTTR bounds fault onset → every cell applied to a live agent.
+	MaxMTTR time.Duration
+	// MaxDegradeLevel caps the degradation ladder depth observed in any
+	// window (the deepest rung sheds HARQ state — reaching it means the
+	// soak overloaded the pool beyond graceful range).
+	MaxDegradeLevel int64
+	// MinSimSeconds is the simulated-time floor the run must cover.
+	MinSimSeconds float64
+}
+
+// DefaultSLOConfig returns zeroes resolved by normalize against the run's
+// shape; callers override individual gates after construction.
+func DefaultSLOConfig() SLOConfig { return SLOConfig{} }
+
+// normalize resolves defaults against the soak configuration.
+func (s *SLOConfig) normalize(cfg Config) {
+	if s.MaxMissRate <= 0 {
+		s.MaxMissRate = 0.10
+	}
+	if s.MaxWindowMissRate <= 0 {
+		s.MaxWindowMissRate = 0.30
+	}
+	if s.MaxBreachFrac <= 0 {
+		s.MaxBreachFrac = 0.30
+	}
+	if s.MinOnTimeFrac <= 0 {
+		s.MinOnTimeFrac = 0.70
+	}
+	if s.MaxDetection <= 0 {
+		s.MaxDetection = 4*cfg.leaseBudget() + 2*time.Second
+	}
+	if s.MaxMTTR <= 0 {
+		s.MaxMTTR = 10 * time.Second
+	}
+	if s.MaxDegradeLevel <= 0 {
+		s.MaxDegradeLevel = 3
+	}
+	if s.MinSimSeconds <= 0 {
+		// Half the ideal span: delivered simulated time shrinks when the
+		// TTI loop drops ticks under concentrated load.
+		s.MinSimSeconds = 0.5 * cfg.SimSeconds()
+	}
+}
+
+// WindowReport is one SLO window's accounting, built from telemetry.Delta
+// over every live agent's registry.
+type WindowReport struct {
+	StartS    float64 `json:"start_s"`
+	EndS      float64 `json:"end_s"`
+	Submitted uint64  `json:"submitted"`
+	Completed uint64  `json:"completed"`
+	Abandoned uint64  `json:"abandoned"`
+	Misses    uint64  `json:"misses"`
+	OnTime    uint64  `json:"on_time"`
+	MissRate  float64 `json:"miss_rate"`
+	// GoodputPerSec is on-time finished tasks per wall second.
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	MaxDegrade    int64   `json:"max_degrade"`
+	AgentsUp      int     `json:"agents_up"`
+	// ScrapeOK reports whether the protocol-level cluster scrape answered
+	// from at least one agent inside this window.
+	ScrapeOK bool `json:"scrape_ok"`
+	Breach   bool `json:"breach"`
+}
+
+// ChaosRecord is one executed chaos action with its measured recovery
+// timeline. DetectionMS/MTTRMS are -1 when the budgeted wait expired and 0
+// when the fault displaced no cells (nothing to detect).
+type ChaosRecord struct {
+	Kind        string  `json:"kind"`
+	Agent       uint32  `json:"agent"`
+	StartS      float64 `json:"start_s"`
+	EndS        float64 `json:"end_s"`
+	DetectionMS float64 `json:"detection_ms"`
+	MTTRMS      float64 `json:"mttr_ms"`
+}
+
+// SLOResult is one evaluated gate.
+type SLOResult struct {
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Limit  float64 `json:"limit"`
+	Pass   bool    `json:"pass"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Totals aggregates the whole run.
+type Totals struct {
+	Submitted  uint64  `json:"submitted"`
+	Completed  uint64  `json:"completed"`
+	Abandoned  uint64  `json:"abandoned"`
+	Misses     uint64  `json:"misses"`
+	OnTime     uint64  `json:"on_time"`
+	MissRate   float64 `json:"miss_rate"`
+	OnTimeFrac float64 `json:"on_time_frac"`
+	MaxDegrade int64   `json:"max_degrade"`
+}
+
+// Report is the machine-readable soak outcome. Pass is the single CI gate
+// bit: every SLO held.
+type Report struct {
+	Seed          int64          `json:"seed"`
+	Cells         int            `json:"cells"`
+	Agents        int            `json:"agents"`
+	WallSeconds   float64        `json:"wall_seconds"`
+	SimSeconds    float64        `json:"sim_seconds"`
+	TrafficEvents []string       `json:"traffic_events"`
+	Windows       []WindowReport `json:"windows"`
+	Chaos         []ChaosRecord  `json:"chaos"`
+	Totals        Totals         `json:"totals"`
+	Recovered     bool           `json:"recovered"`
+	LostCells     int            `json:"lost_cells"`
+	SLOs          []SLOResult    `json:"slos"`
+	Pass          bool           `json:"pass"`
+}
+
+// newReport seeds the report with the run's identity.
+func newReport(cfg Config, eventDescs []string) *Report {
+	return &Report{
+		Seed:          cfg.Seed,
+		Cells:         cfg.Cells,
+		Agents:        cfg.Agents,
+		TrafficEvents: eventDescs,
+	}
+}
+
+// addWindow appends a window and folds it into the totals.
+func (r *Report) addWindow(w WindowReport) {
+	r.Windows = append(r.Windows, w)
+	r.Totals.Submitted += w.Submitted
+	r.Totals.Completed += w.Completed
+	r.Totals.Abandoned += w.Abandoned
+	r.Totals.Misses += w.Misses
+	r.Totals.OnTime += w.OnTime
+	if w.MaxDegrade > r.Totals.MaxDegrade {
+		r.Totals.MaxDegrade = w.MaxDegrade
+	}
+}
+
+// Encode renders the report as indented JSON.
+func (r *Report) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// finished returns how many tasks reached a terminal state in the window.
+func finished(completed, abandoned uint64) uint64 {
+	if f := completed + abandoned; f > 0 {
+		return f
+	}
+	return 1
+}
+
+// evalWindow closes one SLO window: per-agent registry snapshots are diffed
+// against the previous window with telemetry.Delta (restart-safe), summed,
+// and one protocol-level cluster scrape exercises the ctrlproto stats path.
+func (h *Harness) evalWindow(soakStart, wStart, wEnd time.Time) WindowReport {
+	w := WindowReport{
+		StartS: wStart.Sub(soakStart).Seconds(),
+		EndS:   wEnd.Sub(soakStart).Seconds(),
+	}
+	for _, s := range h.slots {
+		an, ok := s.get()
+		if !ok {
+			continue
+		}
+		w.AgentsUp++
+		reg := an.Telemetry()
+		if reg == nil {
+			continue
+		}
+		cur := reg.Snapshot()
+		s.mu.Lock()
+		d := telemetry.Delta(s.prev, cur)
+		s.prev = cur
+		s.mu.Unlock()
+		w.Submitted += d.Counter(dataplane.MetricTasksSubmitted)
+		w.Completed += d.Counter(dataplane.MetricTasksCompleted)
+		w.Abandoned += d.Counter(dataplane.MetricTasksAbandoned)
+		w.Misses += d.Counter(dataplane.MetricDeadlineMisses)
+		if lvl, ok := d.Gauge(dataplane.MetricDegradeLevel); ok && lvl > w.MaxDegrade {
+			w.MaxDegrade = lvl
+		}
+	}
+	// Misses include abandoned tasks, so completed-late = misses − abandoned
+	// and on-time = completed − completed-late.
+	late := uint64(0)
+	if w.Misses > w.Abandoned {
+		late = w.Misses - w.Abandoned
+	}
+	if w.Completed > late {
+		w.OnTime = w.Completed - late
+	}
+	w.MissRate = float64(w.Misses) / float64(finished(w.Completed, w.Abandoned))
+	if sec := wEnd.Sub(wStart).Seconds(); sec > 0 {
+		w.GoodputPerSec = float64(w.OnTime) / sec
+	}
+	w.Breach = w.MissRate > h.cfg.SLO.MaxWindowMissRate
+	if _, answered, err := h.cn.ScrapeTelemetry(500 * time.Millisecond); err == nil && answered > 0 {
+		w.ScrapeOK = true
+	}
+	return w
+}
+
+// evalSLOs runs every gate against the finished report and sets Pass.
+func (h *Harness) evalSLOs(rep *Report) {
+	slo := h.cfg.SLO
+	t := &rep.Totals
+	t.MissRate = float64(t.Misses) / float64(finished(t.Completed, t.Abandoned))
+	t.OnTimeFrac = float64(t.OnTime) / float64(finished(t.Completed, t.Abandoned))
+
+	breached := 0
+	scrapes := 0
+	for _, w := range rep.Windows {
+		if w.Breach {
+			breached++
+		}
+		if w.ScrapeOK {
+			scrapes++
+		}
+	}
+	breachFrac := 0.0
+	if len(rep.Windows) > 0 {
+		breachFrac = float64(breached) / float64(len(rep.Windows))
+	}
+	maxDetect, maxMTTR := 0.0, 0.0
+	detectFailed := false
+	for _, c := range rep.Chaos {
+		if c.DetectionMS < 0 || c.MTTRMS < 0 {
+			detectFailed = true
+			continue
+		}
+		if c.DetectionMS > maxDetect {
+			maxDetect = c.DetectionMS
+		}
+		if c.MTTRMS > maxMTTR {
+			maxMTTR = c.MTTRMS
+		}
+	}
+
+	add := func(name string, value, limit float64, pass bool, detail string) {
+		rep.SLOs = append(rep.SLOs, SLOResult{Name: name, Value: value, Limit: limit, Pass: pass, Detail: detail})
+	}
+	add("deadline_miss_rate", t.MissRate, slo.MaxMissRate,
+		t.MissRate <= slo.MaxMissRate,
+		fmt.Sprintf("%d misses over %d finished tasks", t.Misses, t.Completed+t.Abandoned))
+	add("miss_rate_windows", breachFrac, slo.MaxBreachFrac,
+		breachFrac <= slo.MaxBreachFrac,
+		fmt.Sprintf("%d of %d windows above the %.2f per-window ceiling", breached, len(rep.Windows), slo.MaxWindowMissRate))
+	add("goodput_floor", t.OnTimeFrac, slo.MinOnTimeFrac,
+		t.OnTimeFrac >= slo.MinOnTimeFrac,
+		fmt.Sprintf("%d on-time of %d finished tasks", t.OnTime, t.Completed+t.Abandoned))
+	add("detection_budget_ms", maxDetect, slo.MaxDetection.Seconds()*1e3,
+		!detectFailed && maxDetect <= slo.MaxDetection.Seconds()*1e3,
+		"worst lease-expiry detection over cell-displacing chaos")
+	add("mttr_budget_ms", maxMTTR, slo.MaxMTTR.Seconds()*1e3,
+		!detectFailed && maxMTTR <= slo.MaxMTTR.Seconds()*1e3,
+		"worst fault-onset → all-cells-served recovery")
+	add("degrade_ceiling", float64(t.MaxDegrade), float64(slo.MaxDegradeLevel),
+		t.MaxDegrade <= slo.MaxDegradeLevel,
+		"deepest degradation-ladder rung observed in any window")
+	add("lost_cells", float64(rep.LostCells), 0,
+		rep.LostCells == 0 && rep.Recovered,
+		"cells not applied to a live agent after post-soak recovery")
+	add("sim_time_s", rep.SimSeconds, slo.MinSimSeconds,
+		rep.SimSeconds >= slo.MinSimSeconds,
+		"simulated traffic time covered (TTI high-water × 1 ms)")
+	add("telemetry_scrapes", float64(scrapes), 1,
+		scrapes >= 1 && len(rep.Windows) > 0,
+		fmt.Sprintf("%d of %d windows answered the cluster scrape", scrapes, len(rep.Windows)))
+
+	rep.Pass = true
+	for _, s := range rep.SLOs {
+		if !s.Pass {
+			rep.Pass = false
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package soak
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestQuickConfigCoversSixtySimSeconds(t *testing.T) {
+	cfg := QuickConfig()
+	if got := cfg.SimSeconds(); got < 60 {
+		t.Fatalf("quick config covers %.1f simulated seconds, want ≥ 60", got)
+	}
+	if cfg.SLO.MinSimSeconds != 60 {
+		t.Fatalf("quick sim-time gate = %v, want 60", cfg.SLO.MinSimSeconds)
+	}
+}
+
+func TestChaosPlanDeterministicAndComplete(t *testing.T) {
+	cfg := QuickConfig()
+	a := chaosPlan(cfg, rand.New(rand.NewSource(7)))
+	b := chaosPlan(cfg, rand.New(rand.NewSource(7)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different chaos plans")
+	}
+	c := chaosPlan(cfg, rand.New(rand.NewSource(8)))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("distinct seeds produced identical chaos plans")
+	}
+	kinds := map[string]bool{}
+	for _, act := range a {
+		kinds[act.kind] = true
+		if act.atFrac < 0.1 || act.atFrac > 0.95 {
+			t.Fatalf("action %q fires at %.2f of the run, outside the middle band", act.kind, act.atFrac)
+		}
+	}
+	for _, k := range []string{"worker_stall", "partition_outbound", "crash_restart", "partition_inbound", "partition_full"} {
+		if !kinds[k] {
+			t.Fatalf("chaos kind %q missing from the plan", k)
+		}
+	}
+}
+
+// TestSoakSmoke runs a compressed soak — seconds of wall clock, tens of
+// simulated seconds — with chaos and traffic events on, and checks the
+// harness mechanics end to end: windows close, tasks flow, chaos executes
+// and recovers, the report round-trips as JSON, and the SLO gates hold.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke needs seconds of wall clock")
+	}
+	cfg := SmokeConfig()
+	cfg.Seed = 42
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("soak run: %v", err)
+	}
+	if len(rep.Windows) < 3 {
+		t.Fatalf("only %d SLO windows closed", len(rep.Windows))
+	}
+	if rep.Totals.Submitted == 0 || rep.Totals.Completed == 0 {
+		t.Fatalf("no traffic flowed: %+v", rep.Totals)
+	}
+	if len(rep.Chaos) == 0 {
+		t.Fatal("no chaos actions executed")
+	}
+	if len(rep.TrafficEvents) < 2 {
+		t.Fatalf("want ≥2 traffic event kinds installed, got %v", rep.TrafficEvents)
+	}
+	if !rep.Recovered || rep.LostCells != 0 {
+		t.Fatalf("soak did not recover: recovered=%v lost=%d", rep.Recovered, rep.LostCells)
+	}
+	if rep.SimSeconds < cfg.SLO.MinSimSeconds {
+		t.Fatalf("simulated only %.1f s, want ≥ %.1f", rep.SimSeconds, cfg.SLO.MinSimSeconds)
+	}
+	if !rep.Pass {
+		data, _ := rep.Encode()
+		t.Fatalf("SLO gates failed:\n%s", data)
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatalf("encode report: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Seed != cfg.Seed || back.Pass != rep.Pass || len(back.SLOs) != len(rep.SLOs) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+// TestSoakNoChaosNoEvents checks the calm path: without faults or events
+// every gate must hold and no chaos records appear.
+func TestSoakNoChaosNoEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke needs seconds of wall clock")
+	}
+	cfg := SmokeConfig()
+	cfg.Duration = 4 * time.Second
+	cfg.Window = time.Second
+	cfg.NoChaos = true
+	cfg.NoEvents = true
+	cfg.Seed = 7
+	cfg.SLO.MinSimSeconds = 3
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("soak run: %v", err)
+	}
+	if len(rep.Chaos) != 0 || len(rep.TrafficEvents) != 0 {
+		t.Fatalf("calm run recorded chaos=%v events=%v", rep.Chaos, rep.TrafficEvents)
+	}
+	if !rep.Pass {
+		data, _ := rep.Encode()
+		t.Fatalf("calm run failed SLOs:\n%s", data)
+	}
+}

@@ -24,6 +24,15 @@ type Generator struct {
 	bw    phy.Bandwidth
 	cells []*cellGen
 	start float64 // starting time-of-day in hours
+
+	// sched, when non-nil, reshapes each cell's utilization with the
+	// workload-diversity event layer; firstCell maps this generator's local
+	// cell 0 onto the schedule's absolute cell index. Event factors are
+	// deterministic functions of time and consume no PRNG draws, so a nil
+	// schedule (or one with no active events) leaves traces bit-identical
+	// to the pre-event generator.
+	sched     *Schedule
+	firstCell int
 }
 
 type cellGen struct {
@@ -83,6 +92,29 @@ func NewGenerator(bw phy.Bandwidth, profiles []CellProfile, seed int64, startHou
 	return g, nil
 }
 
+// SetSchedule installs a workload-diversity event schedule. firstCell is
+// the schedule's absolute index of this generator's local cell 0, so
+// single-cell generators spread across agents can share one system-wide
+// schedule. The schedule's start hour must match the generator's, and every
+// local cell must map inside the schedule's cell range. A nil schedule
+// uninstalls events.
+func (g *Generator) SetSchedule(s *Schedule, firstCell int) error {
+	if s == nil {
+		g.sched, g.firstCell = nil, 0
+		return nil
+	}
+	if s.StartHour() != g.start {
+		return fmt.Errorf("traffic: schedule start hour %v != generator %v: %w",
+			s.StartHour(), g.start, phy.ErrBadParameter)
+	}
+	if firstCell < 0 || firstCell+len(g.cells) > s.NumCells() {
+		return fmt.Errorf("traffic: cells [%d,%d) outside schedule's %d cells: %w",
+			firstCell, firstCell+len(g.cells), s.NumCells(), phy.ErrBadParameter)
+	}
+	g.sched, g.firstCell = s, firstCell
+	return nil
+}
+
 // NumCells returns the number of cells the generator drives.
 func (g *Generator) NumCells() int { return len(g.cells) }
 
@@ -115,6 +147,9 @@ func (g *Generator) Subframe(cell int, tti frame.TTI) (frame.SubframeWork, error
 	// Advance burstiness and compute this TTI's PRB target.
 	c.ar = c.arRho*c.ar + c.arSigma*c.rng.NormFloat64()
 	u := c.prof.PeakUtilization * c.prof.Class.Shape(g.todAt(tti)) * (1 + c.ar)
+	if g.sched != nil {
+		u *= g.sched.Factor(g.firstCell+cell, float64(tti)*0.001)
+	}
 	if u < 0 {
 		u = 0
 	}
